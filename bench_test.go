@@ -1,0 +1,352 @@
+package throughputlab
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the in-text analyses (§4.1 matching, §5.4 snapshots, §6 statistics).
+// Each benchmark regenerates its artifact from the shared environment;
+// run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration cost is the analysis cost; world generation and
+// corpus collection are amortized through the shared environment
+// (benchmarked separately as BenchmarkWorldGeneration and
+// BenchmarkCorpusCollection).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"throughputlab/internal/core"
+	"throughputlab/internal/experiments"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/report"
+	"throughputlab/internal/topogen"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		e, err := experiments.NewEnv(experiments.QuickOptions())
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = e
+	})
+	return benchEnv
+}
+
+// BenchmarkWorldGeneration measures the substrate build: topology,
+// BGP routes, routing indices.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := topogen.SmallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topogen.MustGenerate(cfg)
+	}
+}
+
+// BenchmarkCorpusCollection measures a crowdsourced NDT campaign.
+func BenchmarkCorpusCollection(b *testing.B) {
+	e := env(b)
+	cfg := platform.DefaultCollect()
+	cfg.Tests = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Collect(e.World, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1ASHops regenerates Figure 1 (AS hops server→client per
+// ISP) plus the §4.2 aggregate.
+func BenchmarkFig1ASHops(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig1(e); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1Providers regenerates Table 1.
+func BenchmarkTable1Providers(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(e); len(r.Rows) != 12 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable2LinkDiversity regenerates Table 2 (IP-level link
+// diversity behind the Level3 Atlanta server).
+func BenchmarkTable2LinkDiversity(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(e); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable3Bdrmap regenerates one Table 3 row: a full bdrmap
+// campaign and analysis from the bed-us vantage point. (The full table
+// is 16 of these.)
+func BenchmarkTable3Bdrmap(b *testing.B) {
+	e := env(b)
+	vp := e.World.ArkVPs[0]
+	prefixTargets := platform.RoutedPrefixTargets(e.World)
+	mlab := platform.HostTargets(e.World.MLabServers())
+	speed := platform.HostTargets(e.World.Speedtest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := experiments.AnalyzeVP(e, vp, prefixTargets, mlab, speed, int64(i))
+		if va.Borders.ASCount == 0 {
+			b.Fatal("no borders")
+		}
+	}
+}
+
+// BenchmarkFig2Coverage regenerates Figure 2 (per-VP interconnection
+// coverage; per-VP campaigns are cached after the first build, so this
+// measures the aggregation over all 16 VPs).
+func BenchmarkFig2Coverage(b *testing.B) {
+	e := env(b)
+	experiments.Fig2(e) // warm the per-VP cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig2(e); len(r.Rows) != 16 {
+			b.Fatal("bad coverage")
+		}
+	}
+}
+
+// BenchmarkFig3PeerCoverage regenerates Figure 3.
+func BenchmarkFig3PeerCoverage(b *testing.B) {
+	e := env(b)
+	experiments.Fig3(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig3(e); len(r.Rows) != 16 {
+			b.Fatal("bad coverage")
+		}
+	}
+}
+
+// BenchmarkFig4AlexaOverlap regenerates Figure 4.
+func BenchmarkFig4AlexaOverlap(b *testing.B) {
+	e := env(b)
+	experiments.Fig4(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig4(e); len(r.Rows) != 16 {
+			b.Fatal("bad overlap")
+		}
+	}
+}
+
+// BenchmarkFig5Diurnal regenerates Figure 5 (both panels).
+func BenchmarkFig5Diurnal(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig5(e); len(r.Panels) != 2 {
+			b.Fatal("bad panels")
+		}
+	}
+}
+
+// BenchmarkMatchingRates regenerates the §4.1 association analysis.
+func BenchmarkMatchingRates(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Matching(e); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkThresholdSweep regenerates the §6.2 sensitivity analysis.
+func BenchmarkThresholdSweep(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Thresholds(e); len(r.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkBiasDiagnostics regenerates the §6.1 diagnostics.
+func BenchmarkBiasDiagnostics(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.BiasDiagnostics(e); len(r.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTomography regenerates the §3 comparison.
+func BenchmarkTomography(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Tomography(e)
+	}
+}
+
+// BenchmarkSnapshotDrift regenerates the §5.4 two-snapshot comparison
+// (includes building the second world; this is the heavyweight one).
+func BenchmarkSnapshotDrift(b *testing.B) {
+	e := env(b)
+	experiments.Fig2(e) // warm VP cache for snapshot A
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Snapshots(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatures regenerates the §7-future-work congestion
+// signature evaluation (E14).
+func BenchmarkSignatures(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Signatures(e); r.Confusion.Total == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTSLPSurvey regenerates the §7 TSLP survey (E15).
+func BenchmarkTSLPSurvey(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.TSLP(e); r.Links == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkPlacement regenerates the §7 placement comparison (E16).
+func BenchmarkPlacement(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Placement(e); len(r.Greedy) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Ablation benches: quantify the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationMatchingWindow contrasts the association windows of
+// §4.1 (1 vs 10 minutes, after-only vs ±): the work is identical, the
+// matched fraction is not — see EXPERIMENTS.md E9.
+func BenchmarkAblationMatchingWindow(b *testing.B) {
+	e := env(b)
+	for _, w := range []int{1, 10} {
+		b.Run(fmt.Sprintf("after-%dmin", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MatchTraces(e.Corpus.Tests, e.Corpus.Traces, w, core.WindowAfter)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMapItPasses contrasts single-pass vs multipass
+// MAP-IT refinement.
+func BenchmarkAblationMapItPasses(b *testing.B) {
+	e := env(b)
+	for _, passes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("passes-%d", passes), func(b *testing.B) {
+			opts := e.MapItOpts()
+			opts.Passes = passes
+			for i := 0; i < b.N; i++ {
+				mapit.Run(e.Corpus.Traces, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBattleForNet contrasts single-site collection with
+// the Battle-for-the-Net multi-server wrapper (§2.2): ~4-5x the tests
+// for the same client population.
+func BenchmarkAblationBattleForNet(b *testing.B) {
+	e := env(b)
+	for _, battle := range []bool{false, true} {
+		b.Run(fmt.Sprintf("battle-%v", battle), func(b *testing.B) {
+			cfg := platform.DefaultCollect()
+			cfg.Tests = 500
+			cfg.BattleForNet = battle
+			for i := 0; i < b.N; i++ {
+				if _, err := platform.Collect(e.World, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCongestionReport regenerates the §7-checklist report (the
+// library's headline deliverable: every challenge check applied to
+// every aggregate).
+func BenchmarkCongestionReport(b *testing.B) {
+	e := env(b)
+	cfg := report.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := report.Build(e, cfg); len(r.Findings) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkStratified regenerates the §4.3-remedy stratification (E19).
+func BenchmarkStratified(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Stratified(e)
+	}
+}
+
+// BenchmarkBattleForNet regenerates the §2.2 collection-mode
+// comparison (includes two fresh campaigns per iteration).
+func BenchmarkBattleForNet(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BattleForNet(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComponentAblation regenerates E18.
+func BenchmarkComponentAblation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Ablation(e)
+	}
+}

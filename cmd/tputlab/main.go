@@ -1,0 +1,149 @@
+// Command tputlab regenerates the paper's tables and figures from the
+// synthetic Internet.
+//
+// Usage:
+//
+//	tputlab list
+//	tputlab run <experiment>|all [-scale small|default] [-seed N] [-tests N]
+//
+// Example:
+//
+//	tputlab run fig5 -scale small
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"throughputlab/internal/datasets"
+	"throughputlab/internal/experiments"
+	"throughputlab/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Paper)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tputlab:", err)
+			os.Exit(1)
+		}
+	case "report":
+		if err := reportCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tputlab:", err)
+			os.Exit(1)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tputlab: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tputlab list                                  show available experiments
+  tputlab run <name>|all [flags]                regenerate a table/figure
+  tputlab report [flags]                        caveat-annotated congestion report (§7 checklist)
+
+flags for run/report:
+  -scale small|default|large   topology/corpus scale (default "default")
+  -json                  (run) emit the result struct as JSON
+  -seed N                generation seed (default 1)
+  -tests N               NDT corpus size (0 = scale default)`)
+}
+
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	scale := fs.String("scale", "default", "small or default")
+	seed := fs.Int64("seed", 1, "generation seed")
+	tests := fs.Int("tests", 0, "NDT corpus size override")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.DefaultOptions()
+	if *scale == "small" {
+		opts = experiments.QuickOptions()
+	}
+	opts.Topo.Seed = *seed
+	if *tests > 0 {
+		opts.Collect.Tests = *tests
+	}
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Build(env, report.DefaultConfig()).Render())
+	return nil
+}
+
+func runCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("run requires an experiment name (try 'tputlab list')")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.String("scale", "default", "small, default or large")
+	seed := fs.Int64("seed", 1, "generation seed")
+	tests := fs.Int("tests", 0, "NDT corpus size override")
+	asJSON := fs.Bool("json", false, "emit the result struct as JSON instead of a table")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	opts := experiments.DefaultOptions()
+	switch *scale {
+	case "small":
+		opts = experiments.QuickOptions()
+	case "large":
+		opts.Topo.Scale = datasets.LargeScale()
+	}
+	opts.Topo.Seed = *seed
+	if *tests > 0 {
+		opts.Collect.Tests = *tests
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d)...\n", *scale, *seed)
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "world: %s\n", env.World.Topo.CollectStats())
+	fmt.Fprintf(os.Stderr, "platforms: %d M-Lab servers, %d Speedtest servers; corpus: %d tests, %d traces (%.1fs)\n",
+		len(env.World.MLabServers()), len(env.World.Speedtest),
+		len(env.Corpus.Tests), len(env.Corpus.Traces), time.Since(start).Seconds())
+
+	if name == "all" {
+		out, err := experiments.RunAll(env)
+		fmt.Print(out)
+		return err
+	}
+	entry, ok := experiments.Find(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try 'tputlab list')", name)
+	}
+	r, err := entry.Run(env)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(r)
+	}
+	fmt.Println(r.Render())
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunCmdUnknownExperiment(t *testing.T) {
+	if err := runCmd([]string{"nosuch", "-scale", "small", "-tests", "50"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := runCmd(nil); err == nil {
+		t.Error("missing experiment name should error")
+	}
+}
+
+func TestRunCmdSmokeTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	// table1 is the cheapest experiment; a tiny corpus keeps this fast.
+	if err := runCmd([]string{"table1", "-scale", "small", "-tests", "200"}); err != nil {
+		t.Fatalf("runCmd table1: %v", err)
+	}
+}
+
+func TestReportCmdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	if err := reportCmd([]string{"-scale", "small", "-tests", "1500"}); err != nil {
+		t.Fatalf("reportCmd: %v", err)
+	}
+}

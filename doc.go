@@ -1,0 +1,16 @@
+// Package throughputlab reproduces "Challenges in Inferring Internet
+// Congestion Using Throughput Measurements" (Sundaresan et al., IMC
+// 2017) as a runnable system: a synthetic Internet substrate (topology
+// generation, Gao–Rexford BGP, router-level forwarding, a fluid
+// TCP/congestion model), the measurement platforms the paper studies
+// (M-Lab NDT with Paris traceroute collection, Speedtest-style server
+// fleets, Ark vantage points), reimplementations of the inference
+// tools it relies on (MAP-IT, bdrmap, binary network tomography), and
+// the congestion-inference pipeline with the paper's challenge
+// diagnostics.
+//
+// Start with cmd/tputlab ("tputlab list"), the runnable examples under
+// examples/, and DESIGN.md / EXPERIMENTS.md for the experiment index
+// and reproduction results. The root-level benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package throughputlab

@@ -1,0 +1,3 @@
+module throughputlab
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package alias models alias resolution: grouping interface addresses
+// that belong to the same physical router. bdrmap's collection phase
+// runs alias resolution from the vantage point (§5.1); the technique
+// (Ally/MIDAR-style shared IP-ID counters) is imperfect, so the
+// simulated resolver splits some true groups and occasionally merges
+// unrelated interfaces, at configurable rates.
+//
+// The resolver consults ground truth only to know which interfaces
+// truly share a router — exactly what the real probing measures — and
+// its output is then degraded; inference code never sees router IDs.
+package alias
+
+import (
+	"math/rand"
+	"sort"
+
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/topology"
+)
+
+// Resolver groups interface addresses into inferred routers.
+type Resolver struct {
+	topo *topology.Topology
+	// MergeProb is the chance a true co-router pair is detected (MIDAR
+	// validates >90%).
+	MergeProb float64
+	// FalseMergeProb is the chance two distinct same-metro routers are
+	// wrongly merged.
+	FalseMergeProb float64
+}
+
+// New builds a Resolver with the paper-reported accuracy regime.
+func New(t *topology.Topology) *Resolver {
+	return &Resolver{topo: t, MergeProb: 0.93, FalseMergeProb: 0.01}
+}
+
+// Perfect returns a Resolver with no measurement error, for tests.
+func Perfect(t *topology.Topology) *Resolver {
+	return &Resolver{topo: t, MergeProb: 1, FalseMergeProb: 0}
+}
+
+// Group partitions the addresses into inferred routers. Unknown
+// addresses (no interface) become singletons. Output order is
+// deterministic for a given rng state: groups sorted by their lowest
+// address.
+func (r *Resolver) Group(addrs []netaddr.Addr, rng *rand.Rand) [][]netaddr.Addr {
+	// Partition by true router first.
+	byRouter := make(map[topology.RouterID][]netaddr.Addr)
+	var orphans []netaddr.Addr
+	seen := map[netaddr.Addr]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		ifc := r.topo.IfaceByAddr[a]
+		if ifc == nil {
+			orphans = append(orphans, a)
+			continue
+		}
+		byRouter[ifc.Router.ID] = append(byRouter[ifc.Router.ID], a)
+	}
+
+	var groups [][]netaddr.Addr
+	routerIDs := make([]topology.RouterID, 0, len(byRouter))
+	for id := range byRouter {
+		routerIDs = append(routerIDs, id)
+	}
+	sort.Slice(routerIDs, func(i, j int) bool { return routerIDs[i] < routerIDs[j] })
+
+	for _, id := range routerIDs {
+		members := byRouter[id]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		// Probabilistically split members the probing failed to merge.
+		cur := []netaddr.Addr{members[0]}
+		for _, a := range members[1:] {
+			if rng != nil && rng.Float64() > r.MergeProb {
+				groups = append(groups, cur)
+				cur = []netaddr.Addr{a}
+				continue
+			}
+			cur = append(cur, a)
+		}
+		groups = append(groups, cur)
+	}
+	for _, a := range orphans {
+		groups = append(groups, []netaddr.Addr{a})
+	}
+
+	// Rare false merges between groups in the same metro.
+	if rng != nil && r.FalseMergeProb > 0 {
+		metroOf := func(g []netaddr.Addr) string {
+			if ifc := r.topo.IfaceByAddr[g[0]]; ifc != nil {
+				return ifc.Router.Metro
+			}
+			return ""
+		}
+		for i := 0; i+1 < len(groups); i++ {
+			if rng.Float64() < r.FalseMergeProb && metroOf(groups[i]) != "" &&
+				metroOf(groups[i]) == metroOf(groups[i+1]) {
+				groups[i] = append(groups[i], groups[i+1]...)
+				groups = append(groups[:i+1], groups[i+2:]...)
+			}
+		}
+	}
+
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

@@ -1,0 +1,237 @@
+// Package bdrmap implements the analysis phase of bdrmap (Luckie et
+// al., IMC 2016): from a vantage point inside a network, infer ALL of
+// that network's interdomain interconnections — at the AS level and, by
+// alias-resolving border interfaces into routers, at the router level —
+// annotated with the business relationship to each neighbor.
+//
+// Collection is a traceroute campaign from the VP toward every routed
+// prefix (package platform provides it); this package consumes the
+// traces. Operator assignment of interface addresses reuses the MAP-IT
+// machinery of package mapit, which handles the same far-side numbering
+// ambiguities; bdrmap's own heuristics beyond that (per-vendor
+// TTL-expired behaviour) are out of scope (DESIGN.md §6).
+//
+// Table 3 of the reproduced paper is a direct printout of this
+// package's Result for 16 Ark VPs; Figures 2–4 intersect Results with
+// the crossings observed on traces toward measurement servers and
+// popular content.
+package bdrmap
+
+import (
+	"math/rand"
+	"sort"
+
+	"throughputlab/internal/alias"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/topology"
+	"throughputlab/internal/traceroute"
+)
+
+// Opts parameterizes a bdrmap run.
+type Opts struct {
+	// OrgASNs are the VP network's ASNs (the org's siblings).
+	OrgASNs []topology.ASN
+	// MapIt supplies the public datasets for operator inference.
+	MapIt mapit.Opts
+	// Rel returns the VP org's relationship to a neighbor ASN
+	// (RelNone → reported as unknown).
+	Rel func(neighbor topology.ASN) topology.Rel
+	// Alias groups border interfaces into routers; nil skips
+	// router-level analysis.
+	Alias *alias.Resolver
+	// AliasSeed seeds the alias resolver's probabilistic probing.
+	AliasSeed int64
+}
+
+// Crossing is the first interdomain crossing on one trace out of the
+// VP network.
+type Crossing struct {
+	Near, Far netaddr.Addr
+	Neighbor  topology.ASN
+}
+
+// Border is one inferred AS-level interconnection of the VP network.
+type Border struct {
+	Neighbor topology.ASN
+	Rel      topology.Rel
+	// RouterPairs is the number of router-level interconnections
+	// realizing this AS adjacency (0 when alias resolution is off).
+	RouterPairs int
+	// Traces is how many campaign traces crossed this border.
+	Traces int
+}
+
+// Result is the border map of one VP network.
+type Result struct {
+	Borders []Border
+	// ASCount and RouterCount are the Table 3 "ALL borders" columns.
+	ASCount, RouterCount int
+	// ByRel splits the counts by relationship (customer / provider /
+	// peer; unknown under RelNone).
+	ByRel map[topology.Rel]struct{ AS, Router int }
+}
+
+// Analyzer holds the operator inference shared between the border map
+// and coverage analyses.
+type Analyzer struct {
+	opts Opts
+	inf  *mapit.Inference
+	org  map[topology.ASN]bool
+
+	groupOnce bool
+	groupOf   map[netaddr.Addr]int
+}
+
+// groups alias-resolves every labeled address once (deterministically
+// for the configured seed) so the campaign's denominator and the
+// coverage numerators count router pairs in the same identity space.
+func (az *Analyzer) groups() map[netaddr.Addr]int {
+	if az.groupOnce {
+		return az.groupOf
+	}
+	az.groupOnce = true
+	az.groupOf = map[netaddr.Addr]int{}
+	if az.opts.Alias == nil {
+		return az.groupOf
+	}
+	all := make([]netaddr.Addr, 0, len(az.inf.Operator))
+	for a := range az.inf.Operator {
+		all = append(all, a)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rng := rand.New(rand.NewSource(az.opts.AliasSeed))
+	for gi, g := range az.opts.Alias.Group(all, rng) {
+		for _, a := range g {
+			az.groupOf[a] = gi
+		}
+	}
+	return az.groupOf
+}
+
+// RouterKey maps a crossing to its router-pair identity. Without an
+// alias resolver, each address is its own router.
+func (az *Analyzer) RouterKey(c Crossing) [2]int {
+	if az.opts.Alias == nil {
+		return [2]int{int(c.Near), int(c.Far)}
+	}
+	g := az.groups()
+	return [2]int{g[c.Near], g[c.Far]}
+}
+
+// NewAnalyzer runs operator inference over the trace corpus. For
+// coverage analyses pass the union of the prefix campaign and the
+// server-directed traces so every address is labeled consistently.
+func NewAnalyzer(traces []*traceroute.Trace, opts Opts) *Analyzer {
+	org := make(map[topology.ASN]bool, len(opts.OrgASNs))
+	for _, a := range opts.OrgASNs {
+		org[a] = true
+	}
+	return &Analyzer{opts: opts, inf: mapit.Run(traces, opts.MapIt), org: org}
+}
+
+// Inference exposes the underlying MAP-IT result.
+func (az *Analyzer) Inference() *mapit.Inference { return az.inf }
+
+// FirstCrossing finds where a trace first leaves the VP network: the
+// last org-operated hop and the first hop operated by someone else.
+// ok is false when the trace never visibly leaves (intra-network
+// destination, unresponsive border, or inference gaps).
+func (az *Analyzer) FirstCrossing(tr *traceroute.Trace) (Crossing, bool) {
+	addrs := tr.ResponsiveAddrs()
+	end := len(addrs)
+	if tr.Reached {
+		end--
+	}
+	prevInOrg := false
+	var prevAddr netaddr.Addr
+	for i := 0; i < end; i++ {
+		op, known := az.inf.Operator[addrs[i]]
+		if !known {
+			prevInOrg = false
+			continue
+		}
+		if az.org[op] {
+			prevInOrg, prevAddr = true, addrs[i]
+			continue
+		}
+		if prevInOrg {
+			return Crossing{Near: prevAddr, Far: addrs[i], Neighbor: op}, true
+		}
+		// Left the network without seeing the near side (missing hop):
+		// unusable for border attribution.
+		return Crossing{}, false
+	}
+	return Crossing{}, false
+}
+
+// Run performs the full bdrmap analysis on a prefix campaign.
+func Run(traces []*traceroute.Trace, opts Opts) *Result {
+	az := NewAnalyzer(traces, opts)
+	return az.Borders(traces)
+}
+
+// Borders aggregates crossings of the given traces into the border
+// map.
+func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
+	type agg struct {
+		traces int
+		pairs  map[[2]int]bool
+	}
+	byNeighbor := map[topology.ASN]*agg{}
+	for _, tr := range traces {
+		c, ok := az.FirstCrossing(tr)
+		if !ok {
+			continue
+		}
+		a := byNeighbor[c.Neighbor]
+		if a == nil {
+			a = &agg{pairs: map[[2]int]bool{}}
+			byNeighbor[c.Neighbor] = a
+		}
+		a.traces++
+		a.pairs[az.RouterKey(c)] = true
+	}
+
+	res := &Result{ByRel: map[topology.Rel]struct{ AS, Router int }{}}
+	neighbors := make([]topology.ASN, 0, len(byNeighbor))
+	for n := range byNeighbor {
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+
+	for _, n := range neighbors {
+		a := byNeighbor[n]
+		b := Border{Neighbor: n, Traces: a.traces, RouterPairs: len(a.pairs)}
+		if az.opts.Rel != nil {
+			b.Rel = az.opts.Rel(n)
+		}
+		res.Borders = append(res.Borders, b)
+		res.ASCount++
+		res.RouterCount += b.RouterPairs
+		e := res.ByRel[b.Rel]
+		e.AS++
+		e.Router += b.RouterPairs
+		res.ByRel[b.Rel] = e
+	}
+	return res
+}
+
+// CoverageSets returns the AS-level and router-level interconnections
+// crossed by the given traces (typically traces toward one platform's
+// servers), keyed compatibly with Borders' counting: neighbor ASN and
+// alias-grouped router pair. Figures 2–4 intersect these with a
+// campaign's Result.
+func (az *Analyzer) CoverageSets(traces []*traceroute.Trace) (asSet map[topology.ASN]bool, routerSet map[[2]int]bool) {
+	asSet = map[topology.ASN]bool{}
+	routerSet = map[[2]int]bool{}
+	for _, tr := range traces {
+		c, ok := az.FirstCrossing(tr)
+		if !ok {
+			continue
+		}
+		asSet[c.Neighbor] = true
+		routerSet[az.RouterKey(c)] = true
+	}
+	return asSet, routerSet
+}

@@ -1,0 +1,327 @@
+// Package bgp computes AS-level routes over the topology using the
+// standard Gao–Rexford policy model: routes learned from customers are
+// preferred over routes from peers, which are preferred over routes
+// from providers; ties break on AS-path length, then on lowest next-hop
+// ASN (deterministic). Export rules make every path valley-free: a
+// customer route is exported to everyone, while peer and provider
+// routes are exported only to customers. Sibling links (same
+// organization) propagate routes of any class in both directions, with
+// the class preserved and the hop counted.
+//
+// The AS-hop distributions of Figure 1, the interconnection each NDT
+// test traverses (Table 2), and the coverage sets of Figures 2–4 are
+// all consequences of these routing decisions.
+package bgp
+
+import (
+	"fmt"
+
+	"throughputlab/internal/topology"
+)
+
+// RouteClass orders route preference (higher is better).
+type RouteClass uint8
+
+const (
+	// ClassNone means no route.
+	ClassNone RouteClass = iota
+	// ClassProvider is a route learned from a provider.
+	ClassProvider
+	// ClassPeer is a route learned from a peer.
+	ClassPeer
+	// ClassCustomer is a route learned from a customer (or self).
+	ClassCustomer
+)
+
+// String implements fmt.Stringer.
+func (c RouteClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassProvider:
+		return "provider"
+	case ClassPeer:
+		return "peer"
+	case ClassCustomer:
+		return "customer"
+	}
+	return fmt.Sprintf("RouteClass(%d)", uint8(c))
+}
+
+const maxDist = 64
+
+// Routes holds the computed routing trees: for every destination AS,
+// the best next hop from every source AS.
+type Routes struct {
+	topo *topology.Topology
+	idx  map[topology.ASN]int
+	asns []topology.ASN
+
+	// adjacency, grouped by how routes flow.
+	custOf [][]int32 // custOf[i]: indices whose customer is i (i.e. i's providers)… see build
+	neigh  [][]adj
+
+	// per destination (first index), per source (second index):
+	nextHop [][]int32 // -1 = none/self
+	dist    [][]uint8
+	class   [][]RouteClass
+}
+
+type adj struct {
+	j   int32
+	rel topology.Rel // relationship of j as seen from i
+}
+
+// Compute builds routing trees for every AS in the topology.
+func Compute(t *topology.Topology) *Routes {
+	asns := t.ASNs()
+	n := len(asns)
+	r := &Routes{
+		topo:    t,
+		idx:     make(map[topology.ASN]int, n),
+		asns:    asns,
+		neigh:   make([][]adj, n),
+		nextHop: make([][]int32, n),
+		dist:    make([][]uint8, n),
+		class:   make([][]RouteClass, n),
+	}
+	for i, a := range asns {
+		r.idx[a] = i
+	}
+	for i, a := range asns {
+		for _, b := range t.Neighbors(a) {
+			j, ok := r.idx[b]
+			if !ok {
+				continue
+			}
+			r.neigh[i] = append(r.neigh[i], adj{j: int32(j), rel: t.RelOf(a, b)})
+		}
+	}
+	for d := 0; d < n; d++ {
+		r.computeTree(d)
+	}
+	return r
+}
+
+// computeTree fills the routing tree for destination index d using the
+// three-phase propagation described in the package comment.
+func (r *Routes) computeTree(d int) {
+	n := len(r.asns)
+	nh := make([]int32, n)
+	dist := make([]uint8, n)
+	class := make([]RouteClass, n)
+	for i := range nh {
+		nh[i] = -1
+		dist[i] = maxDist
+	}
+
+	// Phase 1: customer routes. BFS from d across edges that carry an
+	// announcement "upward": from a node y to x when y is x's customer
+	// or sibling.
+	dist[d], class[d] = 0, ClassCustomer
+	queue := []int32{int32(d)}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		for _, a := range r.neigh[y] {
+			// a.rel is the relationship of a.j as seen from y. y exports
+			// its customer route to a.j when a.j is y's provider or
+			// sibling; a.j then holds a customer-class route (next hop
+			// y is its customer / sibling).
+			if a.rel != topology.RelProvider && a.rel != topology.RelSibling {
+				continue
+			}
+			x := a.j
+			nd := dist[y] + 1
+			if class[x] == ClassCustomer && dist[x] <= nd {
+				if dist[x] == nd && nh[x] >= 0 && r.asns[y] < r.asns[nh[x]] {
+					nh[x] = y // deterministic lowest-ASN tie-break
+				}
+				continue
+			}
+			if class[x] == ClassCustomer && dist[x] > nd || class[x] != ClassCustomer {
+				class[x], dist[x], nh[x] = ClassCustomer, nd, y
+				queue = append(queue, x)
+			}
+		}
+	}
+
+	// Phase 2: peer routes. A node x with no customer route may use a
+	// direct peer y that has a customer route (or is d). Then propagate
+	// peer-class routes across sibling edges.
+	type cand struct {
+		dist uint8
+		nh   int32
+	}
+	peer := make([]cand, n)
+	for i := range peer {
+		peer[i] = cand{dist: maxDist, nh: -1}
+	}
+	for x := 0; x < n; x++ {
+		for _, a := range r.neigh[x] {
+			if a.rel != topology.RelPeer {
+				continue
+			}
+			y := a.j
+			if class[y] != ClassCustomer {
+				continue
+			}
+			nd := dist[y] + 1
+			if nd < peer[x].dist || (nd == peer[x].dist && peer[x].nh >= 0 && r.asns[y] < r.asns[peer[x].nh]) {
+				peer[x] = cand{dist: nd, nh: y}
+			}
+		}
+	}
+	// Sibling relay of peer routes (bounded BFS).
+	{
+		var q []int32
+		for x := 0; x < n; x++ {
+			if peer[x].nh >= 0 {
+				q = append(q, int32(x))
+			}
+		}
+		for len(q) > 0 {
+			y := q[0]
+			q = q[1:]
+			for _, a := range r.neigh[y] {
+				if a.rel != topology.RelSibling {
+					continue
+				}
+				x := a.j
+				nd := peer[y].dist + 1
+				if nd < peer[x].dist {
+					peer[x] = cand{dist: nd, nh: y}
+					q = append(q, x)
+				}
+			}
+		}
+	}
+	for x := 0; x < n; x++ {
+		if class[x] == ClassCustomer {
+			continue
+		}
+		if peer[x].nh >= 0 {
+			class[x], dist[x], nh[x] = ClassPeer, peer[x].dist, peer[x].nh
+		}
+	}
+
+	// Phase 3: provider routes. Any node with a route exports it to its
+	// customers and siblings. Multi-source shortest path with unit
+	// edges and heterogeneous source distances: bucket BFS by distance.
+	buckets := make([][]int32, maxDist+1)
+	for x := 0; x < n; x++ {
+		if class[x] != ClassNone {
+			buckets[dist[x]] = append(buckets[dist[x]], int32(x))
+		}
+	}
+	for dcur := 0; dcur <= maxDist; dcur++ {
+		for qi := 0; qi < len(buckets[dcur]); qi++ {
+			y := buckets[dcur][qi]
+			if int(dist[y]) != dcur {
+				continue // stale entry
+			}
+			if dcur+1 > maxDist {
+				continue
+			}
+			for _, a := range r.neigh[y] {
+				// y exports to a.j when a.j is y's customer or sibling.
+				if a.rel != topology.RelCustomer && a.rel != topology.RelSibling {
+					continue
+				}
+				x := a.j
+				if class[x] == ClassCustomer || class[x] == ClassPeer {
+					continue
+				}
+				nd := uint8(dcur + 1)
+				switch {
+				case class[x] == ClassNone || dist[x] > nd:
+					class[x], dist[x], nh[x] = ClassProvider, nd, y
+					buckets[nd] = append(buckets[nd], x)
+				case dist[x] == nd && nh[x] >= 0 && r.asns[y] < r.asns[nh[x]]:
+					nh[x] = y
+				}
+			}
+		}
+	}
+
+	nh[d] = -1
+	class[d] = ClassCustomer
+	r.nextHop[d], r.dist[d], r.class[d] = nh, dist, class
+}
+
+// NextHop returns the next AS from src toward dst. ok is false when src
+// has no route (or src == dst).
+func (r *Routes) NextHop(src, dst topology.ASN) (topology.ASN, bool) {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 || si == di {
+		return 0, false
+	}
+	nh := r.nextHop[di][si]
+	if nh < 0 {
+		return 0, false
+	}
+	return r.asns[nh], true
+}
+
+// HasRoute reports whether src can reach dst.
+func (r *Routes) HasRoute(src, dst topology.ASN) bool {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return si == di || r.class[di][si] != ClassNone
+}
+
+// Class returns the route class at src for destination dst.
+func (r *Routes) Class(src, dst topology.ASN) RouteClass {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
+		return ClassNone
+	}
+	if si == di {
+		return ClassCustomer
+	}
+	return r.class[di][si]
+}
+
+// PathLen returns the AS-path length (number of AS hops) from src to
+// dst; 0 when src == dst, -1 when unreachable.
+func (r *Routes) PathLen(src, dst topology.ASN) int {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
+		return -1
+	}
+	if si == di {
+		return 0
+	}
+	if r.class[di][si] == ClassNone {
+		return -1
+	}
+	return int(r.dist[di][si])
+}
+
+// Path returns the AS-level path from src to dst inclusive, or nil when
+// unreachable.
+func (r *Routes) Path(src, dst topology.ASN) []topology.ASN {
+	if !r.HasRoute(src, dst) {
+		return nil
+	}
+	path := []topology.ASN{src}
+	cur := src
+	for cur != dst {
+		next, ok := r.NextHop(cur, dst)
+		if !ok {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > maxDist {
+			return nil // defensive: should be impossible
+		}
+	}
+	return path
+}

@@ -1,0 +1,44 @@
+// Package datasets embeds the static data that parameterizes the
+// synthetic Internet: the paper's Table 1 subscriber counts, per-ISP
+// interconnection profiles, transit-provider and content-network
+// rosters, US metro areas, and a popular-content domain list standing
+// in for the Alexa US top-500 (§5.1).
+//
+// The profiles are calibrated so that the *shapes* the paper reports
+// emerge from the generated topology: which access ISPs peer directly
+// with the networks hosting M-Lab servers (Figure 1), how many metros
+// and parallel links realize each AS-level interconnection (Table 2),
+// and the relative sizes of customer/peer/provider border sets
+// (Table 3). EXPERIMENTS.md records the paper-vs-measured comparison.
+package datasets
+
+import "throughputlab/internal/geo"
+
+// USMetros returns the metro areas used by the synthetic topology.
+// Weights approximate relative metro population and drive client
+// placement and background traffic.
+func USMetros() []geo.Metro {
+	return []geo.Metro{
+		{Code: "nyc", Name: "New York", Lat: 40.71, Lon: -74.01, UTCOffset: -5, Weight: 20.0},
+		{Code: "lax", Name: "Los Angeles", Lat: 34.05, Lon: -118.24, UTCOffset: -8, Weight: 13.0},
+		{Code: "chi", Name: "Chicago", Lat: 41.88, Lon: -87.63, UTCOffset: -6, Weight: 9.5},
+		{Code: "dfw", Name: "Dallas", Lat: 32.78, Lon: -96.80, UTCOffset: -6, Weight: 7.6},
+		{Code: "hou", Name: "Houston", Lat: 29.76, Lon: -95.37, UTCOffset: -6, Weight: 7.1},
+		{Code: "wdc", Name: "Washington DC", Lat: 38.91, Lon: -77.04, UTCOffset: -5, Weight: 6.3},
+		{Code: "mia", Name: "Miami", Lat: 25.76, Lon: -80.19, UTCOffset: -5, Weight: 6.1},
+		{Code: "phl", Name: "Philadelphia", Lat: 39.95, Lon: -75.17, UTCOffset: -5, Weight: 6.1},
+		{Code: "atl", Name: "Atlanta", Lat: 33.75, Lon: -84.39, UTCOffset: -5, Weight: 6.0},
+		{Code: "phx", Name: "Phoenix", Lat: 33.45, Lon: -112.07, UTCOffset: -7, Weight: 4.9},
+		{Code: "bos", Name: "Boston", Lat: 42.36, Lon: -71.06, UTCOffset: -5, Weight: 4.9},
+		{Code: "sfo", Name: "San Francisco", Lat: 37.77, Lon: -122.42, UTCOffset: -8, Weight: 4.7},
+		{Code: "det", Name: "Detroit", Lat: 42.33, Lon: -83.05, UTCOffset: -5, Weight: 4.3},
+		{Code: "sea", Name: "Seattle", Lat: 47.61, Lon: -122.33, UTCOffset: -8, Weight: 4.0},
+		{Code: "min", Name: "Minneapolis", Lat: 44.98, Lon: -93.27, UTCOffset: -6, Weight: 3.7},
+		{Code: "sdg", Name: "San Diego", Lat: 32.72, Lon: -117.16, UTCOffset: -8, Weight: 3.3},
+		{Code: "den", Name: "Denver", Lat: 39.74, Lon: -104.99, UTCOffset: -7, Weight: 2.9},
+		{Code: "stl", Name: "St. Louis", Lat: 38.63, Lon: -90.20, UTCOffset: -6, Weight: 2.8},
+		{Code: "clt", Name: "Charlotte", Lat: 35.23, Lon: -80.84, UTCOffset: -5, Weight: 2.6},
+		{Code: "sjc", Name: "San Jose", Lat: 37.34, Lon: -121.89, UTCOffset: -8, Weight: 2.0},
+		{Code: "msy", Name: "New Orleans", Lat: 29.95, Lon: -90.07, UTCOffset: -6, Weight: 1.3},
+	}
+}

@@ -1,0 +1,400 @@
+package datasets
+
+import "throughputlab/internal/topology"
+
+// ServiceTier is one residential service plan: a downstream rate and
+// its share of the ISP's subscriber base. Plan mixes span an order of
+// magnitude within an ISP (§6.1 "service plan variance").
+type ServiceTier struct {
+	DownMbps float64
+	Weight   float64
+}
+
+// TransitProfile describes a transit provider / measurement-hosting
+// network in the synthetic topology.
+type TransitProfile struct {
+	Name       string
+	ASN        topology.ASN
+	SiblingASN topology.ASN // 0 = none
+	// MLabMetros lists metros where this network hosts an M-Lab site
+	// (empty = hosts none). The paper's M-Lab servers live in transit
+	// and hosting networks such as Level3, GTT, Cogent, Tata and XO.
+	MLabMetros []string
+	// SpeedtestServers is the number of Speedtest-style servers hosted
+	// directly in this network.
+	SpeedtestServers int
+	// HostingOnly marks networks that sell hosting rather than transit;
+	// they buy transit and peer with nobody (Voxel-like). Access ISPs
+	// reach their M-Lab servers over ≥2 AS hops, which keeps even the
+	// best-connected ISPs below 100% one-hop tests in Figure 1.
+	HostingOnly bool
+}
+
+// Transits returns the transit/hosting roster. Site distribution is
+// calibrated so the per-ISP one-hop fractions of Figure 1 emerge from
+// which access ISPs peer with which hosts (see AccessProfile).
+func Transits() []TransitProfile {
+	return []TransitProfile{
+		{Name: "Level3", ASN: 3356, SiblingASN: 3549,
+			MLabMetros:       []string{"atl", "nyc", "lax", "chi", "dfw", "sea"},
+			SpeedtestServers: 14},
+		{Name: "GTT", ASN: 3257,
+			MLabMetros:       []string{"atl", "nyc", "lax", "chi"},
+			SpeedtestServers: 8},
+		{Name: "Cogent", ASN: 174,
+			MLabMetros:       []string{"wdc", "chi", "sfo", "dfw"},
+			SpeedtestServers: 10},
+		{Name: "Tata", ASN: 6453,
+			MLabMetros:       []string{"nyc", "lax"},
+			SpeedtestServers: 4},
+		{Name: "XO", ASN: 2828,
+			MLabMetros:       []string{"nyc", "chi", "lax"},
+			SpeedtestServers: 6},
+		{Name: "Voxel", ASN: 29791,
+			MLabMetros:       []string{"nyc"},
+			SpeedtestServers: 3,
+			HostingOnly:      true},
+		{Name: "Zayo", ASN: 6461, SpeedtestServers: 6},
+		{Name: "Telia", ASN: 1299, SpeedtestServers: 4},
+		{Name: "NTT", ASN: 2914, SpeedtestServers: 5},
+	}
+}
+
+// AccessProfile describes one residential access provider.
+type AccessProfile struct {
+	Name    string
+	OrgName string
+	// BackboneASN carries the national backbone; SiblingASNs are
+	// regional ASNs under the same organization (clients in some metros
+	// number from sibling space, as with Comcast's AS7725/AS22909 in
+	// Table 2).
+	BackboneASN topology.ASN
+	SiblingASNs []topology.ASN
+	// SubscribersM is millions of subscribers (Table 1; 0 when the ISP
+	// is below the table's one-million cut, like Sonic and RCN).
+	SubscribersM float64
+	// Metros where the ISP offers service.
+	Metros []string
+	// TransitAdjacent lists transit names this ISP directly
+	// interconnects with and the relationship from the ISP's side
+	// (peer or customer); an entry missing means the transit is reached
+	// over ≥2 AS hops. This is the Figure 1 knob.
+	TransitPeers     []string
+	TransitProviders []string
+	// AccessPeers lists other access orgs peered directly.
+	AccessPeers []string
+	// ContentPeerFrac is the fraction of content orgs peered directly
+	// (big ISPs peer widely with CDNs; the rest is reached via transit).
+	ContentPeerFrac float64
+	// CustomerTarget is how many stub/regional ASes buy transit from
+	// this ISP (scaled ~4x down from Table 3; see EXPERIMENTS.md).
+	CustomerTarget int
+	// InterconnectMetros is how many metros realize each transit-peer
+	// AS interconnection (router-level diversity, §4.3/Table 2).
+	InterconnectMetros int
+	// ParallelLinkMean is the mean number of parallel IP links per
+	// border-router pair (Cox's Table 2 profile has many).
+	ParallelLinkMean float64
+	// ArkVPMetros places Ark vantage points (§5.1's 16 VPs).
+	ArkVPMetros []string
+	// ArkVPLabels are the paper's VP names, index-aligned with
+	// ArkVPMetros.
+	ArkVPLabels []string
+	// FigureLabel is the short label used in Figures 2-4 ("COM", "VZ"…);
+	// empty when the ISP has no VP.
+	FigureLabel string
+	// InFig1 marks the nine ISPs of Figure 1.
+	InFig1 bool
+	// SpeedtestServers hosted inside this access network.
+	SpeedtestServers int
+	// Tiers is the service plan mix.
+	Tiers []ServiceTier
+	// WiFiDegradedFrac is the fraction of homes whose Wi-Fi, not the
+	// access link, bottlenecks the test (§6.1).
+	WiFiDegradedFrac float64
+}
+
+// AccessISPs returns the access-provider roster: the twelve Table 1
+// providers plus Sonic and RCN (Ark hosts below the table's cut).
+func AccessISPs() []AccessProfile {
+	allMetros := func() []string {
+		ms := USMetros()
+		out := make([]string, len(ms))
+		for i, m := range ms {
+			out[i] = m.Code
+		}
+		return out
+	}()
+	return []AccessProfile{
+		{
+			Name: "Comcast", OrgName: "Comcast Cable Communications",
+			BackboneASN:        7922,
+			SiblingASNs:        []topology.ASN{7725, 22909, 7016, 33491, 13367, 20214, 33657},
+			SubscribersM:       23.329,
+			Metros:             allMetros,
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO", "Zayo", "Telia", "NTT"},
+			TransitProviders:   []string{"Tata"},
+			AccessPeers:        []string{"AT&T", "Verizon", "Time Warner Cable", "Charter", "CenturyLink", "Cox"},
+			ContentPeerFrac:    0.85,
+			CustomerTarget:     280,
+			InterconnectMetros: 6, ParallelLinkMean: 1.6,
+			ArkVPMetros: []string{"bos", "sjc", "atl", "den", "bos"},
+			ArkVPLabels: []string{"bed-us", "mry-us", "atl2-us", "wbu2-us", "bos5-us"},
+			FigureLabel: "COM", InFig1: true,
+			SpeedtestServers: 20,
+			Tiers:            []ServiceTier{{25, 0.30}, {50, 0.30}, {105, 0.25}, {150, 0.15}},
+			WiFiDegradedFrac: 0.25,
+		},
+		{
+			Name: "AT&T", OrgName: "AT&T Services",
+			BackboneASN:        7018,
+			SiblingASNs:        []topology.ASN{6389, 7132},
+			SubscribersM:       15.778,
+			Metros:             allMetros,
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO", "NTT"},
+			TransitProviders:   []string{"Telia"},
+			AccessPeers:        []string{"Comcast", "Verizon", "Time Warner Cable", "CenturyLink"},
+			ContentPeerFrac:    0.75,
+			CustomerTarget:     530,
+			InterconnectMetros: 7, ParallelLinkMean: 1.4,
+			ArkVPMetros: []string{"sdg"},
+			ArkVPLabels: []string{"san6-us"},
+			FigureLabel: "ATT", InFig1: true,
+			SpeedtestServers: 16,
+			Tiers:            []ServiceTier{{6, 0.30}, {12, 0.30}, {18, 0.20}, {45, 0.20}},
+			WiFiDegradedFrac: 0.20,
+		},
+		{
+			Name: "Time Warner Cable", OrgName: "Time Warner Cable Internet",
+			BackboneASN:        7843,
+			SiblingASNs:        []topology.ASN{20001, 11351, 10796, 11426},
+			SubscribersM:       13.313,
+			Metros:             []string{"nyc", "lax", "chi", "dfw", "hou", "clt", "stl", "det", "phl", "bos", "sdg"},
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO", "Zayo"},
+			TransitProviders:   []string{"Telia"},
+			AccessPeers:        []string{"Comcast", "AT&T", "Charter"},
+			ContentPeerFrac:    0.55,
+			CustomerTarget:     140,
+			InterconnectMetros: 4, ParallelLinkMean: 1.5,
+			ArkVPMetros: []string{"nyc", "clt", "sdg"},
+			ArkVPLabels: []string{"ith-us", "lex-us", "san4-us"},
+			FigureLabel: "TWC", InFig1: true,
+			SpeedtestServers: 12,
+			Tiers:            []ServiceTier{{15, 0.30}, {30, 0.35}, {50, 0.20}, {100, 0.15}},
+			WiFiDegradedFrac: 0.25,
+		},
+		{
+			Name: "Verizon", OrgName: "Verizon Communications",
+			BackboneASN:        701,
+			SiblingASNs:        []topology.ASN{6167, 702, 19262},
+			SubscribersM:       9.228,
+			Metros:             []string{"nyc", "wdc", "bos", "phl", "mia", "dfw", "lax"},
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO", "NTT", "Tata"},
+			TransitProviders:   []string{"Zayo"},
+			AccessPeers:        []string{"Comcast", "AT&T"},
+			ContentPeerFrac:    0.35,
+			CustomerTarget:     330,
+			InterconnectMetros: 5, ParallelLinkMean: 1.5,
+			ArkVPMetros: []string{"wdc"},
+			ArkVPLabels: []string{"mnz-us"},
+			FigureLabel: "VZ", InFig1: true,
+			SpeedtestServers: 10,
+			Tiers:            []ServiceTier{{25, 0.25}, {50, 0.35}, {75, 0.25}, {150, 0.15}},
+			WiFiDegradedFrac: 0.20,
+		},
+		{
+			Name: "CenturyLink", OrgName: "CenturyLink Communications",
+			BackboneASN:        209,
+			SiblingASNs:        []topology.ASN{22561, 4323},
+			SubscribersM:       6.048,
+			Metros:             []string{"den", "phx", "sea", "min", "stl", "dfw", "msy", "lax"},
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO"},
+			TransitProviders:   []string{"Telia"},
+			AccessPeers:        []string{"Comcast", "AT&T"},
+			ContentPeerFrac:    0.65,
+			CustomerTarget:     390,
+			InterconnectMetros: 4, ParallelLinkMean: 1.3,
+			ArkVPMetros: []string{"phx"},
+			ArkVPLabels: []string{"aza-us"},
+			FigureLabel: "CENT", InFig1: true,
+			SpeedtestServers: 9,
+			Tiers:            []ServiceTier{{10, 0.35}, {20, 0.30}, {40, 0.20}, {100, 0.15}},
+			WiFiDegradedFrac: 0.22,
+		},
+		{
+			Name: "Charter", OrgName: "Charter Communications",
+			BackboneASN:        20115,
+			SiblingASNs:        []topology.ASN{11427},
+			SubscribersM:       5.572,
+			Metros:             []string{"stl", "clt", "det", "min", "lax", "dfw"},
+			TransitPeers:       []string{"Level3"},
+			TransitProviders:   []string{"Tata", "Telia"},
+			AccessPeers:        []string{"Comcast", "Time Warner Cable"},
+			ContentPeerFrac:    0.30,
+			CustomerTarget:     40,
+			InterconnectMetros: 3, ParallelLinkMean: 1.2,
+			InFig1:           true,
+			SpeedtestServers: 6,
+			Tiers:            []ServiceTier{{30, 0.45}, {60, 0.35}, {100, 0.20}},
+			WiFiDegradedFrac: 0.28,
+		},
+		{
+			Name: "Cox", OrgName: "Cox Communications",
+			BackboneASN:      22773,
+			SiblingASNs:      []topology.ASN{22776},
+			SubscribersM:     4.3,
+			Metros:           []string{"phx", "sdg", "msy", "atl", "wdc", "lax", "dfw", "sjc"},
+			TransitPeers:     []string{"Level3", "Tata"},
+			TransitProviders: []string{"NTT"},
+			AccessPeers:      []string{"Comcast"},
+			ContentPeerFrac:  0.45,
+			CustomerTarget:   90,
+			// Cox's Table 2 signature: few interconnect metros but many
+			// parallel IP links per border-router pair.
+			InterconnectMetros: 4, ParallelLinkMean: 6.5,
+			ArkVPMetros: []string{"msy", "sdg"},
+			ArkVPLabels: []string{"msy-us", "san2-us"},
+			FigureLabel: "COX", InFig1: true,
+			SpeedtestServers: 8,
+			Tiers:            []ServiceTier{{15, 0.30}, {50, 0.35}, {100, 0.25}, {150, 0.10}},
+			WiFiDegradedFrac: 0.25,
+		},
+		{
+			Name: "Cablevision", OrgName: "Cablevision Systems",
+			BackboneASN:        6128,
+			SubscribersM:       2.809,
+			Metros:             []string{"nyc", "bos", "phl"},
+			TransitPeers:       []string{"Level3", "GTT", "Tata"},
+			TransitProviders:   []string{"Zayo"},
+			ContentPeerFrac:    0.40,
+			CustomerTarget:     25,
+			InterconnectMetros: 2, ParallelLinkMean: 1.3,
+			SpeedtestServers: 4,
+			Tiers:            []ServiceTier{{50, 0.5}, {100, 0.35}, {200, 0.15}},
+			WiFiDegradedFrac: 0.25,
+		},
+		{
+			Name: "Frontier", OrgName: "Frontier Communications",
+			BackboneASN:        5650,
+			SiblingASNs:        []topology.ASN{7011},
+			SubscribersM:       2.444,
+			Metros:             []string{"clt", "det", "min", "sea", "stl"},
+			TransitPeers:       []string{"GTT", "Cogent", "XO"},
+			TransitProviders:   []string{"Telia"},
+			ContentPeerFrac:    0.20,
+			CustomerTarget:     29,
+			InterconnectMetros: 1, ParallelLinkMean: 1.0,
+			ArkVPMetros: []string{"clt"},
+			ArkVPLabels: []string{"igx-us"},
+			FigureLabel: "FRON", InFig1: true,
+			SpeedtestServers: 3,
+			Tiers:            []ServiceTier{{6, 0.40}, {12, 0.30}, {25, 0.20}, {45, 0.10}},
+			WiFiDegradedFrac: 0.30,
+		},
+		{
+			Name: "Suddenlink", OrgName: "Suddenlink Communications",
+			BackboneASN:        19108,
+			SubscribersM:       1.467,
+			Metros:             []string{"dfw", "hou", "msy", "stl"},
+			TransitPeers:       []string{"Level3", "Cogent"},
+			TransitProviders:   []string{"Tata"},
+			ContentPeerFrac:    0.15,
+			CustomerTarget:     12,
+			InterconnectMetros: 2, ParallelLinkMean: 1.2,
+			SpeedtestServers: 3,
+			Tiers:            []ServiceTier{{15, 0.4}, {50, 0.4}, {100, 0.2}},
+			WiFiDegradedFrac: 0.28,
+		},
+		{
+			Name: "Windstream", OrgName: "Windstream Communications",
+			BackboneASN:        7029,
+			SubscribersM:       1.0951,
+			Metros:             []string{"clt", "atl", "stl", "msy"},
+			TransitPeers:       []string{"Voxel"},
+			TransitProviders:   []string{"Zayo", "Telia", "NTT"},
+			ContentPeerFrac:    0.05,
+			CustomerTarget:     18,
+			InterconnectMetros: 1, ParallelLinkMean: 1.0,
+			InFig1:           true,
+			SpeedtestServers: 2,
+			Tiers:            []ServiceTier{{3, 0.35}, {6, 0.30}, {12, 0.25}, {25, 0.10}},
+			WiFiDegradedFrac: 0.30,
+		},
+		{
+			Name: "Mediacom", OrgName: "Mediacom Communications",
+			BackboneASN:        30036,
+			SubscribersM:       1.085,
+			Metros:             []string{"min", "stl", "det"},
+			TransitPeers:       []string{"Cogent", "XO"},
+			TransitProviders:   []string{"Zayo"},
+			ContentPeerFrac:    0.10,
+			CustomerTarget:     8,
+			InterconnectMetros: 1, ParallelLinkMean: 1.1,
+			SpeedtestServers: 2,
+			Tiers:            []ServiceTier{{15, 0.4}, {50, 0.4}, {100, 0.2}},
+			WiFiDegradedFrac: 0.30,
+		},
+		{
+			Name: "Sonic", OrgName: "Sonic Telecom",
+			BackboneASN:        46375,
+			SubscribersM:       0, // below Table 1's one-million cut
+			Metros:             []string{"sfo", "sjc"},
+			TransitPeers:       []string{"Level3", "GTT", "Cogent", "XO"},
+			TransitProviders:   []string{"Zayo"},
+			ContentPeerFrac:    0.25,
+			CustomerTarget:     6,
+			InterconnectMetros: 1, ParallelLinkMean: 1.0,
+			ArkVPMetros:      []string{"sjc"},
+			ArkVPLabels:      []string{"wvi-us"},
+			FigureLabel:      "SONC",
+			SpeedtestServers: 2,
+			Tiers:            []ServiceTier{{20, 0.4}, {50, 0.4}, {100, 0.2}},
+			WiFiDegradedFrac: 0.20,
+		},
+		{
+			Name: "RCN", OrgName: "RCN Telecom Services",
+			BackboneASN:      6079,
+			SubscribersM:     0, // below Table 1's one-million cut
+			Metros:           []string{"bos", "nyc", "wdc", "chi", "phl"},
+			TransitPeers:     []string{"Level3", "GTT", "Cogent"},
+			TransitProviders: []string{"Tata"},
+			// RCN runs an open peering policy: few customers, many peers
+			// (Table 3: 35 customers, 36 peers).
+			ContentPeerFrac:    0.95,
+			AccessPeers:        []string{"Comcast", "Cablevision"},
+			CustomerTarget:     35,
+			InterconnectMetros: 2, ParallelLinkMean: 1.1,
+			ArkVPMetros:      []string{"bos"},
+			ArkVPLabels:      []string{"bed3-us"},
+			FigureLabel:      "RCN",
+			SpeedtestServers: 3,
+			Tiers:            []ServiceTier{{25, 0.4}, {75, 0.4}, {155, 0.2}},
+			WiFiDegradedFrac: 0.22,
+		},
+	}
+}
+
+// Table1 returns the paper's Table 1: U.S. broadband access providers
+// with more than one million subscribers as of Q3 2015.
+func Table1() []struct {
+	ISP         string
+	Subscribers int
+} {
+	return []struct {
+		ISP         string
+		Subscribers int
+	}{
+		{"Comcast", 23329000},
+		{"AT&T", 15778000},
+		{"Time Warner Cable", 13313000},
+		{"Verizon", 9228000},
+		{"CenturyLink", 6048000},
+		{"Charter", 5572000},
+		{"Cox", 4300000},
+		{"Cablevision", 2809000},
+		{"Frontier", 2444000},
+		{"Suddenlink", 1467000},
+		{"Windstream", 1095100},
+		{"Mediacom", 1085000},
+	}
+}

@@ -1,0 +1,133 @@
+// Package dnsnames assigns reverse-DNS (PTR) names to router
+// interfaces and provides the parsing helpers the analysis uses to
+// group parallel interdomain links by router.
+//
+// Interdomain interfaces follow the operator convention the paper
+// leans on in §4.3: the interface an AS provisions for a peer is named
+// "<PEER-TOKEN>.<router>.<as-domain>", e.g.
+// "COX-COMMUNI.edge5.Dallas3.Level3.net" — twelve such names sharing
+// the "edge5.Dallas3.Level3.net" suffix revealed twelve parallel links
+// to Cox on one Level3 router in Dallas. Intra-domain interfaces are
+// named "<router>.<as-domain>". A per-assignment fraction of
+// interfaces gets no PTR record at all, as in the wild.
+package dnsnames
+
+import (
+	"math/rand"
+	"strings"
+
+	"throughputlab/internal/topology"
+)
+
+// Domain derives a DNS domain for an organization name:
+// "Level3 Communications" → "level3communications.net" is too long for
+// the paper's flavor, so the first word is used: "level3.net".
+func Domain(orgName string) string {
+	fields := strings.FieldsFunc(orgName, func(r rune) bool {
+		return r == ' ' || r == '.'
+	})
+	if len(fields) == 0 {
+		return "unknown.net"
+	}
+	return sanitize(strings.ToLower(fields[0])) + ".net"
+}
+
+// PeerToken derives the uppercase peer tag used on interdomain
+// interfaces: "Cox Communications" → "COX-COMMUNI" (11 characters, as
+// in the paper's examples).
+func PeerToken(orgName string) string {
+	s := strings.ToUpper(orgName)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '&' || r == '.':
+			if b.Len() > 0 && b.String()[b.Len()-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+	}
+	tok := strings.Trim(b.String(), "-")
+	if len(tok) > 11 {
+		tok = tok[:11]
+	}
+	if tok == "" {
+		tok = "PEER"
+	}
+	return tok
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	return b.String()
+}
+
+// Assign writes DNSName on every interface of the topology. noPTRFrac
+// of interfaces (drawn with rng) get an empty name, simulating missing
+// PTR records.
+func Assign(t *topology.Topology, rng *rand.Rand, noPTRFrac float64) {
+	orgName := func(asn topology.ASN) string {
+		as := t.AS(asn)
+		if as == nil {
+			return "unknown"
+		}
+		if as.Org != nil {
+			return as.Org.Name
+		}
+		return as.Name
+	}
+	for _, l := range t.Links() {
+		ifaces := []*topology.Interface{l.A, l.B}
+		for _, ifc := range ifaces {
+			if ifc == nil || ifc.Addr.IsZero() {
+				continue
+			}
+			if rng.Float64() < noPTRFrac {
+				ifc.DNSName = ""
+				continue
+			}
+			domain := Domain(orgName(ifc.Router.AS))
+			switch l.Kind {
+			case topology.LinkInterdomain:
+				var peerASN topology.ASN
+				if l.A == ifc {
+					peerASN = l.ASB()
+				} else {
+					peerASN = l.ASA()
+				}
+				ifc.DNSName = PeerToken(orgName(peerASN)) + "." + ifc.Router.Name + "." + domain
+			default:
+				ifc.DNSName = ifc.Router.Name + "." + domain
+			}
+		}
+	}
+}
+
+// RouterFQDN strips the peer token off an interdomain interface name,
+// returning the router's qualified name ("edge5.Dallas3.level3.net").
+// For names without a peer token (intra-domain convention) it returns
+// the name unchanged; for empty names it returns "".
+func RouterFQDN(dnsName string) string {
+	if dnsName == "" {
+		return ""
+	}
+	i := strings.IndexByte(dnsName, '.')
+	if i < 0 {
+		return dnsName
+	}
+	first := dnsName[:i]
+	// Peer tokens are all-caps; router labels are lower/mixed case.
+	if first == strings.ToUpper(first) && strings.ContainsAny(first, "ABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+		return dnsName[i+1:]
+	}
+	return dnsName
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"throughputlab/internal/alias"
+	"throughputlab/internal/bdrmap"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/topology"
+	"throughputlab/internal/traceroute"
+)
+
+// AblationResult quantifies the design choices the pipeline leans on:
+// MAP-IT's far-side correction, alias-resolution quality, and the
+// association window (E18).
+type AblationResult struct {
+	// MAP-IT far-side correction: link identification precision against
+	// ground truth, with and without the correction.
+	FarSideOnPrecision, FarSideOffPrecision float64
+	LinksOn, LinksOff                       int
+
+	// Alias resolution: Table-3-style router-level border count for one
+	// VP, with perfect vs realistic vs no alias resolution.
+	RouterPairsPerfect, RouterPairsRealistic, RouterPairsNone int
+	ASBorders                                                 int
+
+	// Bidirectional traceroutes (§7: "preferably in both directions"):
+	// distinct ground-truth interdomain links discovered with
+	// forward-only vs forward+reverse corpora, plus operator accuracy.
+	// (Accuracy stays flat — the far-side ambiguity is one hop deep in
+	// both directions — but the reverse direction discovers the links
+	// the forward corpus never crosses.)
+	TrueLinksFwd, TrueLinksBoth     int
+	FwdOperatorAcc, BothOperatorAcc float64
+}
+
+// Ablation runs the component ablations on fresh, artifact-free inputs
+// (isolating the algorithmic choice from measurement noise).
+func Ablation(e *Env) *AblationResult {
+	res := &AblationResult{}
+	w := e.World
+
+	// --- MAP-IT far-side correction ---
+	precision := func(inf *mapit.Inference) (float64, int) {
+		if len(inf.Links) == 0 {
+			return 0, 0
+		}
+		good := 0
+		for _, l := range inf.Links {
+			na := w.Topo.IfaceByAddr[l.Near]
+			fa := w.Topo.IfaceByAddr[l.Far]
+			if na == nil || fa == nil {
+				continue
+			}
+			// A correctly identified link joins routers of different
+			// organizations.
+			if na.Router.AS != fa.Router.AS && !w.Topo.SameOrg(na.Router.AS, fa.Router.AS) {
+				good++
+			}
+		}
+		return float64(good) / float64(len(inf.Links)), len(inf.Links)
+	}
+	on := mapit.Run(e.Corpus.Traces, e.MapItOpts())
+	offOpts := e.MapItOpts()
+	offOpts.DisableFarSide = true
+	off := mapit.Run(e.Corpus.Traces, offOpts)
+	res.FarSideOnPrecision, res.LinksOn = precision(on)
+	res.FarSideOffPrecision, res.LinksOff = precision(off)
+
+	// --- Bidirectional traceroutes (§7) ---
+	operatorAcc := func(inf *mapit.Inference) float64 {
+		total, correct := 0, 0
+		for a, got := range inf.Operator {
+			ifc := w.Topo.IfaceByAddr[a]
+			if ifc == nil {
+				continue
+			}
+			total++
+			if got == ifc.Router.AS || w.Topo.SameOrg(got, ifc.Router.AS) {
+				correct++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(correct) / float64(total)
+	}
+	trueLinks := func(inf *mapit.Inference) int {
+		seen := map[topology.LinkID]bool{}
+		for _, l := range inf.Links {
+			fa := w.Topo.IfaceByAddr[l.Far]
+			if fa != nil && fa.Link != nil && fa.Link.Kind == topology.LinkInterdomain {
+				seen[fa.Link.ID] = true
+			}
+			na := w.Topo.IfaceByAddr[l.Near]
+			if na != nil && na.Link != nil && na.Link.Kind == topology.LinkInterdomain {
+				seen[na.Link.ID] = true
+			}
+		}
+		return len(seen)
+	}
+	res.FwdOperatorAcc = operatorAcc(on)
+	res.TrueLinksFwd = trueLinks(on)
+	// Synthesize the reverse direction for a sample of matched tests —
+	// the client-side traceroutes web NDT clients cannot run (§4.1).
+	tracer := traceroute.New(w.Topo, w.Resolver, traceroute.DefaultArtifacts())
+	revRng := revRandSource()
+	both := append([]*traceroute.Trace{}, e.Corpus.Traces...)
+	added := 0
+	for _, t := range e.Corpus.Tests {
+		if added >= len(e.Corpus.Traces)/4 {
+			break
+		}
+		if e.Matching.ByTest[t.ID] == nil {
+			continue
+		}
+		cli, ok1 := platform.EndpointForAddr(w, t.ClientAddr)
+		srv, ok2 := platform.EndpointForAddr(w, t.ServerAddr)
+		if !ok1 || !ok2 {
+			continue
+		}
+		tr, err := tracer.Trace(cli, srv, t.FlowEntropy+2, t.StartMinute, revRng)
+		if err != nil {
+			continue
+		}
+		both = append(both, tr)
+		added++
+	}
+	bothInf := mapit.Run(both, e.MapItOpts())
+	res.BothOperatorAcc = operatorAcc(bothInf)
+	res.TrueLinksBoth = trueLinks(bothInf)
+
+	// --- Alias resolution quality (bed-us campaign) ---
+	for i := range w.ArkVPs {
+		if w.ArkVPs[i].Label != "bed-us" {
+			continue
+		}
+		campaign := platform.Campaign(w, w.ArkVPs[i].Host.Endpoint,
+			platform.RoutedPrefixTargets(w), traceroute.DefaultArtifacts(), 777)
+		orgASNs := w.Access[w.ArkVPs[i].ISP].Org.ASNs
+		base := bdrmap.Opts{
+			OrgASNs: orgASNs,
+			MapIt:   e.MapItOpts(),
+			Rel: func(n topology.ASN) topology.Rel {
+				for _, o := range orgASNs {
+					if r := w.Topo.RelOf(o, n); r != topology.RelNone {
+						return r
+					}
+				}
+				return topology.RelNone
+			},
+			AliasSeed: 778,
+		}
+		run := func(a *alias.Resolver) *bdrmap.Result {
+			opts := base
+			opts.Alias = a
+			return bdrmap.Run(campaign, opts)
+		}
+		perfect := run(alias.Perfect(w.Topo))
+		realistic := run(alias.New(w.Topo))
+		none := run(nil)
+		res.RouterPairsPerfect = perfect.RouterCount
+		res.RouterPairsRealistic = realistic.RouterCount
+		res.RouterPairsNone = none.RouterCount
+		res.ASBorders = perfect.ASCount
+		break
+	}
+	return res
+}
+
+// revRandSource seeds the reverse-traceroute artifacts.
+func revRandSource() *rand.Rand { return rand.New(rand.NewSource(4242)) }
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("E18 — component ablations\n\n")
+	sb.WriteString("MAP-IT far-side correction (link identification precision vs ground truth):\n")
+	sb.WriteString(table([]string{"variant", "links inferred", "precision"}, [][]string{
+		{"with correction", fmt.Sprintf("%d", r.LinksOn), pct(r.FarSideOnPrecision)},
+		{"without (naive prefix→AS)", fmt.Sprintf("%d", r.LinksOff), pct(r.FarSideOffPrecision)},
+	}))
+	sb.WriteString("\nAlias resolution (bed-us router-level border count; AS-level is " +
+		fmt.Sprintf("%d", r.ASBorders) + "):\n")
+	sb.WriteString(table([]string{"resolver", "router-level borders"}, [][]string{
+		{"perfect", fmt.Sprintf("%d", r.RouterPairsPerfect)},
+		{"realistic (missed merges)", fmt.Sprintf("%d", r.RouterPairsRealistic)},
+		{"none (1 interface = 1 router)", fmt.Sprintf("%d", r.RouterPairsNone)},
+	}))
+	sb.WriteString("\nBidirectional traceroutes (§7 \"preferably in both directions\"):\n")
+	sb.WriteString(table([]string{"corpus", "true interdomain links found", "operator accuracy"}, [][]string{
+		{"forward only (web NDT reality)", fmt.Sprintf("%d", r.TrueLinksFwd), pct(r.FwdOperatorAcc)},
+		{"forward + reverse sample", fmt.Sprintf("%d", r.TrueLinksBoth), pct(r.BothOperatorAcc)},
+	}))
+	sb.WriteString("\nWithout alias resolution every interface looks like a separate router,\n")
+	sb.WriteString("inflating router-level interconnection counts — why bdrmap runs it (§5.1).\n")
+	return sb.String()
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"throughputlab/internal/alias"
+	"throughputlab/internal/bdrmap"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/routing"
+	"throughputlab/internal/topogen"
+	"throughputlab/internal/topology"
+	"throughputlab/internal/traceroute"
+)
+
+// VPAnalysis bundles everything §5 computes from one Ark vantage
+// point: the bdrmap border map (the denominator of Figures 2–3) and
+// the interconnections covered by traces toward each platform's
+// servers and toward popular content.
+type VPAnalysis struct {
+	Label string // paper VP name, e.g. "bed-us"
+	ISP   string
+
+	Borders *bdrmap.Result
+
+	// Covered interconnections per target set.
+	MLabAS, SpeedAS, AlexaAS             map[topology.ASN]bool
+	MLabRouter, SpeedRouter, AlexaRouter map[[2]int]bool
+
+	// Rel classifies a neighbor from the VP org's perspective.
+	Rel func(topology.ASN) topology.Rel
+}
+
+// VPAnalyses runs the §5 methodology for every Ark VP (cached on the
+// Env): a traceroute campaign to every routed prefix, plus campaigns
+// toward M-Lab servers, Speedtest servers, and the per-VP Alexa
+// targets, all labeled by one shared MAP-IT inference.
+func VPAnalyses(e *Env) []*VPAnalysis {
+	if e.vps != nil {
+		return e.vps
+	}
+	w := e.World
+	prefixTargets := platform.RoutedPrefixTargets(w)
+	mlabTargets := platform.HostTargets(w.MLabServers())
+	speedTargets := platform.HostTargets(w.Speedtest)
+
+	var out []*VPAnalysis
+	for vi, vp := range w.ArkVPs {
+		out = append(out, AnalyzeVP(e, vp, prefixTargets, mlabTargets, speedTargets, int64(1000+vi)))
+	}
+	e.vps = out
+	return out
+}
+
+// AnalyzeVP runs the §5 methodology for one vantage point (uncached).
+// Target lists may be shared across VPs; pass nil to rebuild them.
+func AnalyzeVP(e *Env, vp topogen.ArkVP, prefixTargets, mlabTargets, speedTargets []routing.Endpoint, seed int64) *VPAnalysis {
+	w := e.World
+	if prefixTargets == nil {
+		prefixTargets = platform.RoutedPrefixTargets(w)
+	}
+	if mlabTargets == nil {
+		mlabTargets = platform.HostTargets(w.MLabServers())
+	}
+	if speedTargets == nil {
+		speedTargets = platform.HostTargets(w.Speedtest)
+	}
+	art := traceroute.DefaultArtifacts()
+	art.DstNoReplyProb = 0.05
+
+	campaign := platform.Campaign(w, vp.Host.Endpoint, prefixTargets, art, seed)
+	mlab := platform.Campaign(w, vp.Host.Endpoint, mlabTargets, art, seed+1)
+	speed := platform.Campaign(w, vp.Host.Endpoint, speedTargets, art, seed+2)
+	alexa := platform.Campaign(w, vp.Host.Endpoint,
+		platform.AlexaTargets(w, vp.Host.Endpoint.Metro), art, seed+3)
+
+	orgASNs := w.Access[vp.ISP].Org.ASNs
+	rel := func(n topology.ASN) topology.Rel {
+		for _, o := range orgASNs {
+			if r := w.Topo.RelOf(o, n); r != topology.RelNone {
+				return r
+			}
+		}
+		return topology.RelNone
+	}
+	opts := bdrmap.Opts{
+		OrgASNs:   orgASNs,
+		MapIt:     e.MapItOpts(),
+		Rel:       rel,
+		Alias:     alias.New(w.Topo),
+		AliasSeed: seed + 4,
+	}
+	all := make([]*traceroute.Trace, 0, len(campaign)+len(mlab)+len(speed)+len(alexa))
+	all = append(all, campaign...)
+	all = append(all, mlab...)
+	all = append(all, speed...)
+	all = append(all, alexa...)
+	az := bdrmap.NewAnalyzer(all, opts)
+
+	va := &VPAnalysis{Label: vp.Label, ISP: vp.ISP, Rel: rel}
+	va.Borders = az.Borders(campaign)
+	va.MLabAS, va.MLabRouter = az.CoverageSets(mlab)
+	va.SpeedAS, va.SpeedRouter = az.CoverageSets(speed)
+	va.AlexaAS, va.AlexaRouter = az.CoverageSets(alexa)
+	return va
+}
+
+// ---- Table 3 ----
+
+// Table3Result reproduces Table 3: per-VP border statistics.
+type Table3Result struct {
+	Rows []*VPAnalysis
+}
+
+// Table3 runs bdrmap from all 16 Ark VPs.
+func Table3(e *Env) *Table3Result { return &Table3Result{Rows: VPAnalyses(e)} }
+
+// Render prints Table 3.
+func (r *Table3Result) Render() string {
+	var rows [][]string
+	for _, v := range r.Rows {
+		cust := v.Borders.ByRel[topology.RelCustomer]
+		prov := v.Borders.ByRel[topology.RelProvider]
+		peer := v.Borders.ByRel[topology.RelPeer]
+		rows = append(rows, []string{
+			v.ISP, v.Label,
+			fmt.Sprintf("%d", v.Borders.ASCount), fmt.Sprintf("%d", v.Borders.RouterCount),
+			fmt.Sprintf("%d", cust.AS), fmt.Sprintf("%d", cust.Router),
+			fmt.Sprintf("%d", prov.AS), fmt.Sprintf("%d", prov.Router),
+			fmt.Sprintf("%d", peer.AS), fmt.Sprintf("%d", peer.Router),
+		})
+	}
+	return "Table 3 — bdrmap border statistics per Ark VP (AS / router level)\n" +
+		table([]string{"Network", "VP", "ALL AS", "ALL rtr", "CUST AS", "CUST rtr",
+			"PROV AS", "PROV rtr", "PEER AS", "PEER rtr"}, rows)
+}
+
+// ---- Figures 2 and 3 ----
+
+// CoverageRow is one VP's bar group in Figure 2 or 3.
+type CoverageRow struct {
+	Label, ISP                   string
+	BdrmapAS, MLabAS, SpeedAS    int
+	BdrmapRtr, MLabRtr, SpeedRtr int
+}
+
+// CoverageResult holds Figure 2 (all interconnections) or Figure 3
+// (peers only).
+type CoverageResult struct {
+	PeersOnly bool
+	Rows      []CoverageRow
+}
+
+// Fig2 computes coverage of all interconnections.
+func Fig2(e *Env) *CoverageResult { return coverage(e, false) }
+
+// Fig3 computes coverage of peer interconnections only.
+func Fig3(e *Env) *CoverageResult { return coverage(e, true) }
+
+func coverage(e *Env, peersOnly bool) *CoverageResult {
+	res := &CoverageResult{PeersOnly: peersOnly}
+	for _, v := range VPAnalyses(e) {
+		row := CoverageRow{Label: v.Label, ISP: v.ISP}
+		keep := func(n topology.ASN) bool {
+			return !peersOnly || v.Rel(n) == topology.RelPeer
+		}
+		for _, b := range v.Borders.Borders {
+			if keep(b.Neighbor) {
+				row.BdrmapAS++
+				row.BdrmapRtr += b.RouterPairs
+			}
+		}
+		countAS := func(set map[topology.ASN]bool) int {
+			n := 0
+			for a := range set {
+				if keep(a) {
+					n++
+				}
+			}
+			return n
+		}
+		row.MLabAS = countAS(v.MLabAS)
+		row.SpeedAS = countAS(v.SpeedAS)
+		if peersOnly {
+			// Router-level peer filtering requires neighbor attribution
+			// per router pair; approximate by scaling with the AS-level
+			// peer share of each covered set — the paper's router-level
+			// bars follow the same ordering.
+			row.MLabRtr = routerCountFiltered(v, v.MLabRouter, v.MLabAS, keep)
+			row.SpeedRtr = routerCountFiltered(v, v.SpeedRouter, v.SpeedAS, keep)
+		} else {
+			row.MLabRtr = len(v.MLabRouter)
+			row.SpeedRtr = len(v.SpeedRouter)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func routerCountFiltered(v *VPAnalysis, routers map[[2]int]bool, ases map[topology.ASN]bool,
+	keep func(topology.ASN) bool) int {
+	if len(ases) == 0 {
+		return 0
+	}
+	kept := 0
+	for a := range ases {
+		if keep(a) {
+			kept++
+		}
+	}
+	return len(routers) * kept / len(ases)
+}
+
+// Render prints the coverage bars as a table with fractions.
+func (r *CoverageResult) Render() string {
+	title := "Figure 2 — coverage of AS- and router-level interconnections"
+	if r.PeersOnly {
+		title = "Figure 3 — coverage of AS- and router-level PEER interconnections"
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		fm, fs := 0.0, 0.0
+		if row.BdrmapAS > 0 {
+			fm = float64(row.MLabAS) / float64(row.BdrmapAS)
+			fs = float64(row.SpeedAS) / float64(row.BdrmapAS)
+		}
+		rows = append(rows, []string{
+			row.Label, row.ISP,
+			fmt.Sprintf("%d", row.BdrmapAS), fmt.Sprintf("%d", row.MLabAS), fmt.Sprintf("%d", row.SpeedAS),
+			pct(fm), pct(fs),
+			fmt.Sprintf("%d", row.BdrmapRtr), fmt.Sprintf("%d", row.MLabRtr), fmt.Sprintf("%d", row.SpeedRtr),
+		})
+	}
+	return title + "\n" + table([]string{"VP", "ISP", "bdrmap AS", "M-Lab AS", "Speedtest AS",
+		"M-Lab %", "Speedtest %", "bdrmap rtr", "M-Lab rtr", "Speedtest rtr"}, rows)
+}
+
+// ---- Figure 4 ----
+
+// Fig4Row is one VP's set-difference bars.
+type Fig4Row struct {
+	Label, ISP string
+	// AS-level set differences.
+	MLabNotAlexa, AlexaNotMLab   int
+	SpeedNotAlexa, AlexaNotSpeed int
+	AlexaTotal                   int
+	// Router-level set differences.
+	RtrMLabNotAlexa, RtrAlexaNotMLab   int
+	RtrSpeedNotAlexa, RtrAlexaNotSpeed int
+}
+
+// Fig4Result reproduces Figure 4.
+type Fig4Result struct{ Rows []Fig4Row }
+
+// Fig4 compares interconnections on paths to platform servers against
+// those on paths to popular content.
+func Fig4(e *Env) *Fig4Result {
+	res := &Fig4Result{}
+	for _, v := range VPAnalyses(e) {
+		row := Fig4Row{Label: v.Label, ISP: v.ISP, AlexaTotal: len(v.AlexaAS)}
+		diffAS := func(a, b map[topology.ASN]bool) int {
+			n := 0
+			for x := range a {
+				if !b[x] {
+					n++
+				}
+			}
+			return n
+		}
+		diffRtr := func(a, b map[[2]int]bool) int {
+			n := 0
+			for x := range a {
+				if !b[x] {
+					n++
+				}
+			}
+			return n
+		}
+		row.MLabNotAlexa = diffAS(v.MLabAS, v.AlexaAS)
+		row.AlexaNotMLab = diffAS(v.AlexaAS, v.MLabAS)
+		row.SpeedNotAlexa = diffAS(v.SpeedAS, v.AlexaAS)
+		row.AlexaNotSpeed = diffAS(v.AlexaAS, v.SpeedAS)
+		row.RtrMLabNotAlexa = diffRtr(v.MLabRouter, v.AlexaRouter)
+		row.RtrAlexaNotMLab = diffRtr(v.AlexaRouter, v.MLabRouter)
+		row.RtrSpeedNotAlexa = diffRtr(v.SpeedRouter, v.AlexaRouter)
+		row.RtrAlexaNotSpeed = diffRtr(v.AlexaRouter, v.SpeedRouter)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints Figure 4's bars.
+func (r *Fig4Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		uncov := 0.0
+		if row.AlexaTotal > 0 {
+			uncov = float64(row.AlexaNotMLab) / float64(row.AlexaTotal)
+		}
+		rows = append(rows, []string{
+			row.Label, row.ISP,
+			fmt.Sprintf("%d", row.MLabNotAlexa), fmt.Sprintf("%d", row.AlexaNotMLab),
+			fmt.Sprintf("%d", row.SpeedNotAlexa), fmt.Sprintf("%d", row.AlexaNotSpeed),
+			pct(uncov),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — interconnections on platform paths vs popular-content paths (AS level)\n")
+	sb.WriteString(table([]string{"VP", "ISP", "Mlab−Alexa", "Alexa−Mlab",
+		"Speed−Alexa", "Alexa−Speed", "Alexa uncovered by M-Lab"}, rows))
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// experiment consumes the shared Env — a generated world plus a
+// collected NDT/traceroute corpus — and returns a typed result whose
+// Render method prints the same rows or series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"throughputlab/internal/core"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/topogen"
+	"throughputlab/internal/topology"
+)
+
+// Options parameterizes an experiment environment.
+type Options struct {
+	Topo    topogen.Config
+	Collect platform.CollectConfig
+}
+
+// DefaultOptions is the full-scale configuration used by cmd/tputlab.
+func DefaultOptions() Options {
+	return Options{Topo: topogen.DefaultConfig(), Collect: platform.DefaultCollect()}
+}
+
+// QuickOptions is a reduced configuration for tests and examples.
+func QuickOptions() Options {
+	cfg := platform.DefaultCollect()
+	cfg.Tests = 8000
+	cfg.PerPoolClients = 10
+	return Options{Topo: topogen.SmallConfig(), Collect: cfg}
+}
+
+// Env is the shared state for all experiments.
+type Env struct {
+	Opts   Options
+	World  *topogen.World
+	Corpus *platform.Corpus
+	// Inference is MAP-IT over the corpus traceroutes.
+	Inference *mapit.Inference
+	// Matching associates tests with traceroutes (10-minute window
+	// after the test, the paper's primary method).
+	Matching *core.Matching
+
+	// vps caches the §5 per-VP analyses (built on first use).
+	vps []*VPAnalysis
+}
+
+// NewEnv generates the world, collects the corpus, and runs the shared
+// inference stages.
+func NewEnv(opts Options) (*Env, error) {
+	w, err := topogen.Generate(opts.Topo)
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := platform.Collect(w, opts.Collect)
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Opts: opts, World: w, Corpus: corpus}
+	e.Inference = mapit.Run(corpus.Traces, e.MapItOpts())
+	e.Matching = core.MatchTraces(corpus.Tests, corpus.Traces, 10, core.WindowAfter)
+	return e, nil
+}
+
+// MapItOpts builds the public-dataset options for this world.
+func (e *Env) MapItOpts() mapit.Opts {
+	w := e.World
+	return mapit.Opts{
+		Prefix2AS: w.Topo.OriginOf,
+		IsIXP: func(a netaddr.Addr) bool {
+			for _, p := range w.Topo.IXPPrefixes {
+				if p.Contains(a) {
+					return true
+				}
+			}
+			return false
+		},
+		SameOrg: func(x, y topology.ASN) bool { return x == y || w.Topo.SameOrg(x, y) },
+	}
+}
+
+// HourOf returns a test's client-local hour.
+func (e *Env) HourOf(t *ndt.Test) float64 {
+	return e.World.Topo.MustMetro(t.ClientMetro).LocalHour(t.StartMinute)
+}
+
+// OrgName returns the organization name for an ASN ("AS<n>" fallback).
+func (e *Env) OrgName(asn topology.ASN) string {
+	if as := e.World.Topo.AS(asn); as != nil {
+		if as.Org != nil {
+			return as.Org.Name
+		}
+		return as.Name
+	}
+	return fmt.Sprintf("AS%d", asn)
+}
+
+// table renders rows with tab alignment.
+func table(header []string, rows [][]string) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	fmt.Fprintln(tw, strings.Repeat("-", 4+8*len(header)))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

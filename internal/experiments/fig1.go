@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"throughputlab/internal/core"
+	"throughputlab/internal/datasets"
+	"throughputlab/internal/ndt"
+)
+
+// Fig1Row is one bar of Figure 1: the AS-hop mix of matched tests
+// toward one access ISP.
+type Fig1Row struct {
+	ISP              string
+	Matched          int
+	FracOne, FracTwo float64
+	FracMore         float64
+}
+
+// Fig1Result reproduces Figure 1 plus the §4.2 in-text aggregate (82%
+// of analyzed traces had directly connected endpoints).
+type Fig1Result struct {
+	Rows []Fig1Row
+	// OverallDirect is the one-hop fraction across all analyzed traces.
+	OverallDirect float64
+}
+
+// Fig1 buckets matched NDT traceroutes by AS hops between the server
+// and client organizations (siblings collapsed, as in §4.2), for the
+// nine ISPs of the figure.
+func Fig1(e *Env) *Fig1Result {
+	inFig := map[string]bool{}
+	order := []string{}
+	for _, p := range datasets.AccessISPs() {
+		if p.InFig1 {
+			inFig[p.Name] = true
+			order = append(order, p.Name)
+		}
+	}
+	dist := core.ASHopDistribution(e.Corpus.Tests, e.Matching, e.Inference,
+		func(t *ndt.Test) string { return t.ClientISP })
+
+	res := &Fig1Result{}
+	totalOne, total := 0, 0
+	for isp, b := range dist {
+		totalOne += b.One
+		total += b.Total()
+		_ = isp
+	}
+	if total > 0 {
+		res.OverallDirect = float64(totalOne) / float64(total)
+	}
+	for _, isp := range order {
+		b := dist[isp]
+		if b == nil {
+			res.Rows = append(res.Rows, Fig1Row{ISP: isp})
+			continue
+		}
+		n := float64(b.Total())
+		res.Rows = append(res.Rows, Fig1Row{
+			ISP: isp, Matched: b.Total(),
+			FracOne:  float64(b.One) / n,
+			FracTwo:  float64(b.Two) / n,
+			FracMore: float64(b.More) / n,
+		})
+	}
+	return res
+}
+
+// Render prints the figure's data as a table.
+func (r *Fig1Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.ISP, fmt.Sprintf("%d", row.Matched),
+			pct(row.FracOne), pct(row.FracTwo), pct(row.FracMore),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — AS hops from M-Lab servers to access-ISP clients (matched traceroutes)\n")
+	sb.WriteString(table([]string{"ISP", "traces", "1 hop", "2 hops", "2+ hops"}, rows))
+	sb.WriteString(fmt.Sprintf("\nOverall directly-connected fraction (§4.2): %s\n", pct(r.OverallDirect)))
+	return sb.String()
+}
+
+// Table1Result reproduces Table 1 (static data, also used to weight
+// the client population).
+type Table1Result struct {
+	Rows []struct {
+		ISP         string
+		Subscribers int
+	}
+}
+
+// Table1 returns the paper's Table 1.
+func Table1(e *Env) *Table1Result {
+	r := &Table1Result{}
+	for _, row := range datasets.Table1() {
+		r.Rows = append(r.Rows, struct {
+			ISP         string
+			Subscribers int
+		}{row.ISP, row.Subscribers})
+	}
+	return r
+}
+
+// Render prints Table 1.
+func (r *Table1Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.ISP, fmt.Sprintf("%d", row.Subscribers)})
+	}
+	return "Table 1 — U.S. broadband providers with >1M subscribers (Q3 2015)\n" +
+		table([]string{"ISP", "Subscribers"}, rows)
+}

@@ -1,0 +1,79 @@
+// Package geo models the geographic substrate of the synthetic Internet:
+// metropolitan areas with coordinates and timezones, great-circle
+// distances, and a distance-based propagation latency model.
+//
+// The paper's analyses are geography-sensitive in two ways: M-Lab selects
+// the geographically closest server for each client (§2), and interdomain
+// congestion shows regional effects (§3.1, §4.3), so interdomain links
+// must live in specific metros.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metro is a metropolitan area where routers, servers, and client
+// populations are placed.
+type Metro struct {
+	// Code is a short airport-style identifier, e.g. "atl".
+	Code string
+	// Name is the human-readable city name.
+	Name string
+	// Lat and Lon are in degrees.
+	Lat, Lon float64
+	// UTCOffset is the offset of local time from simulation UTC, in hours.
+	// Diurnal load and test-volume curves are driven by local time.
+	UTCOffset int
+	// Weight is the relative population weight used when distributing
+	// clients and background traffic across metros.
+	Weight float64
+}
+
+const (
+	earthRadiusKm = 6371.0
+	// kmPerMs is the propagation speed in fibre, ~2/3 c, expressed as
+	// kilometres travelled per millisecond.
+	kmPerMs = 200.0
+	// routeInflation accounts for fibre paths not following great
+	// circles; 1.0 would be a straight line.
+	routeInflation = 1.4
+)
+
+// DistanceKm returns the great-circle distance between two metros.
+func DistanceKm(a, b Metro) float64 {
+	if a.Code == b.Code {
+		return 0
+	}
+	lat1, lon1 := a.Lat*math.Pi/180, a.Lon*math.Pi/180
+	lat2, lon2 := b.Lat*math.Pi/180, b.Lon*math.Pi/180
+	dlat, dlon := lat2-lat1, lon2-lon1
+	h := math.Sin(dlat/2)*math.Sin(dlat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dlon/2)*math.Sin(dlon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// PropagationDelayMs returns the one-way propagation delay between two
+// metros in milliseconds, including route inflation. Within a metro it
+// returns a small constant to model local fibre.
+func PropagationDelayMs(a, b Metro) float64 {
+	d := DistanceKm(a, b)
+	if d == 0 {
+		return 0.2
+	}
+	return d * routeInflation / kmPerMs
+}
+
+// LocalHour converts a simulation time, expressed in minutes since the
+// start of the synthetic month (UTC), to the local hour-of-day [0,24) in
+// the metro.
+func (m Metro) LocalHour(minute int) float64 {
+	h := math.Mod(float64(minute)/60+float64(m.UTCOffset), 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// String implements fmt.Stringer.
+func (m Metro) String() string { return fmt.Sprintf("%s(%s)", m.Code, m.Name) }

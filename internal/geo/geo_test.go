@@ -1,0 +1,92 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	atlanta = Metro{Code: "atl", Name: "Atlanta", Lat: 33.75, Lon: -84.39, UTCOffset: -5}
+	nyc     = Metro{Code: "nyc", Name: "New York", Lat: 40.71, Lon: -74.01, UTCOffset: -5}
+	la      = Metro{Code: "lax", Name: "Los Angeles", Lat: 34.05, Lon: -118.24, UTCOffset: -8}
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Atlanta–New York is roughly 1200 km; Atlanta–LA roughly 3100 km.
+	d := DistanceKm(atlanta, nyc)
+	if d < 1100 || d > 1300 {
+		t.Errorf("atl-nyc distance = %.0f km, want ~1200", d)
+	}
+	d = DistanceKm(atlanta, la)
+	if d < 2900 || d > 3300 {
+		t.Errorf("atl-lax distance = %.0f km, want ~3100", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry and non-negativity over random coordinates.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Metro{Code: "a", Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Metro{Code: "b", Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-6 && d1 < 2*math.Pi*earthRadiusKm
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSameMetroIsZero(t *testing.T) {
+	if d := DistanceKm(atlanta, atlanta); d != 0 {
+		t.Errorf("same-metro distance = %f", d)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// Same metro: small positive constant.
+	if d := PropagationDelayMs(nyc, nyc); d <= 0 || d > 1 {
+		t.Errorf("intra-metro delay = %f ms", d)
+	}
+	// Cross-country one-way should be tens of ms, well under 100.
+	d := PropagationDelayMs(nyc, la)
+	if d < 15 || d > 60 {
+		t.Errorf("nyc-lax one-way delay = %.1f ms, want 15..60", d)
+	}
+	// Monotone in distance.
+	if PropagationDelayMs(atlanta, nyc) >= PropagationDelayMs(atlanta, la) {
+		t.Error("delay should grow with distance")
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	m := Metro{Code: "x", UTCOffset: -5}
+	cases := []struct {
+		minute int
+		want   float64
+	}{
+		{0, 19},       // midnight UTC = 19:00 local at UTC-5
+		{5 * 60, 0},   // 05:00 UTC = midnight local
+		{17 * 60, 12}, // 17:00 UTC = noon local
+		{29 * 60, 0},  // next day wraps
+		{24 * 60, 19}, // full day later, same local hour
+		{90, 20.5},    // fractional hours preserved
+	}
+	for _, c := range cases {
+		if got := m.LocalHour(c.minute); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LocalHour(%d) = %v, want %v", c.minute, got, c.want)
+		}
+	}
+}
+
+func TestLocalHourRangeProperty(t *testing.T) {
+	f := func(minute uint16, off int8) bool {
+		m := Metro{UTCOffset: int(off % 12)}
+		h := m.LocalHour(int(minute))
+		return h >= 0 && h < 24
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

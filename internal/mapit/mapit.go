@@ -1,0 +1,360 @@
+// Package mapit implements the core of MAP-IT (Marder & Smith, IMC
+// 2016): multipass inference of interdomain links from a corpus of
+// already-collected traceroutes, using only public data — the
+// prefix→AS mapping, IXP prefix lists, and AS→organization data.
+//
+// The central difficulty (§4.2 of the reproduced paper, and [25]) is
+// that a point-to-point interdomain link between ASes A and B is
+// numbered out of ONE of their address spaces, so the far-side
+// interface — operated by B — carries an address that the prefix→AS
+// mapping attributes to A. No single traceroute can resolve this;
+// MAP-IT's premise is that collating many traces provides constraints:
+// an interface whose predecessors predominantly belong to A but whose
+// successors predominantly belong to B is B's ingress on an A–B link.
+//
+// This implementation performs the published algorithm's essential
+// passes: per-interface neighbor-set construction, majority-vote
+// operator inference with threshold f, IXP-prefix handling, and
+// iterated refinement where votes use previously inferred operators
+// rather than raw prefix origins. Vendor-specific special cases of the
+// original are out of scope (DESIGN.md §6).
+package mapit
+
+import (
+	"sort"
+
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/topology"
+	"throughputlab/internal/traceroute"
+)
+
+// Opts supplies the public datasets.
+type Opts struct {
+	// Prefix2AS is the public origin lookup (CAIDA prefix→AS).
+	Prefix2AS func(netaddr.Addr) (topology.ASN, bool)
+	// IsIXP reports whether an address falls in a known IXP peering
+	// LAN.
+	IsIXP func(netaddr.Addr) bool
+	// SameOrg collapses sibling ASes (CAIDA AS→organization).
+	SameOrg func(a, b topology.ASN) bool
+	// Threshold is the majority fraction f required to reassign an
+	// interface's operator (MAP-IT's f; 0 → default 0.5).
+	Threshold float64
+	// Passes bounds refinement iterations (0 → default 3).
+	Passes int
+	// DisableFarSide turns off the far-side operator correction — the
+	// ablation showing what breaks when point-to-point numbering is
+	// taken at face value (links get attributed one hop late, inside
+	// the neighbor).
+	DisableFarSide bool
+}
+
+func (o *Opts) withDefaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.Passes == 0 {
+		o.Passes = 3
+	}
+	if o.SameOrg == nil {
+		o.SameOrg = func(a, b topology.ASN) bool { return a == b }
+	}
+	if o.IsIXP == nil {
+		o.IsIXP = func(netaddr.Addr) bool { return false }
+	}
+}
+
+// Link is one inferred IP-level interdomain link, identified by the
+// near (egress) and far (ingress) interface addresses.
+type Link struct {
+	Near, Far     netaddr.Addr
+	NearAS, FarAS topology.ASN
+	// Traces is how many traceroutes crossed this link.
+	Traces int
+}
+
+// Inference is the result of a MAP-IT run.
+type Inference struct {
+	// Operator is the inferred operating AS per interface address.
+	Operator map[netaddr.Addr]topology.ASN
+	// Links are the inferred IP-level interdomain links, sorted by
+	// descending trace count then address.
+	Links []Link
+
+	opts Opts
+}
+
+type ifaceStats struct {
+	origin topology.ASN
+	hasOrg bool
+	isIXP  bool
+	// prev/next neighbor addresses with multiplicity.
+	prev map[netaddr.Addr]int
+	next map[netaddr.Addr]int
+}
+
+// Run executes MAP-IT over the trace corpus.
+func Run(traces []*traceroute.Trace, opts Opts) *Inference {
+	opts.withDefaults()
+
+	// Pass 0: neighbor sets. The destination hop of each trace is a
+	// host, not a router interface; it contributes as a vote source for
+	// its predecessor but gets no operator of its own.
+	stats := make(map[netaddr.Addr]*ifaceStats)
+	get := func(a netaddr.Addr) *ifaceStats {
+		s := stats[a]
+		if s == nil {
+			s = &ifaceStats{prev: map[netaddr.Addr]int{}, next: map[netaddr.Addr]int{}}
+			if origin, ok := opts.Prefix2AS(a); ok {
+				s.origin, s.hasOrg = origin, true
+			}
+			s.isIXP = opts.IsIXP(a)
+			stats[a] = s
+		}
+		return s
+	}
+	dsts := map[netaddr.Addr]struct{}{}
+	for _, tr := range traces {
+		addrs := tr.ResponsiveAddrs()
+		if tr.Reached && len(addrs) > 0 {
+			dsts[addrs[len(addrs)-1]] = struct{}{}
+		}
+		for i, a := range addrs {
+			s := get(a)
+			if i > 0 {
+				s.prev[addrs[i-1]]++
+			}
+			if i+1 < len(addrs) {
+				s.next[addrs[i+1]]++
+			}
+		}
+	}
+
+	// originVote holds pure prefix-origin labels; voteOp additionally
+	// accumulates IXP/unknown addresses resolved in earlier passes
+	// (needed to chain through exchange LANs). Crucially, far-side
+	// REASSIGNMENTS enter neither map, and the far-side pass votes over
+	// originVote only: inferred labels cascading into votes would let
+	// the relabeled far side of one link (or a resolved IXP port)
+	// out-vote the genuine near-side interfaces of every other link on
+	// a shared border router. This mirrors MAP-IT's half-link
+	// constraints.
+	originVote := make(map[netaddr.Addr]topology.ASN, len(stats))
+	for a, s := range stats {
+		if s.hasOrg && !s.isIXP {
+			originVote[a] = s.origin
+		}
+	}
+	voteOp := make(map[netaddr.Addr]topology.ASN, len(originVote))
+	for a, v := range originVote {
+		voteOp[a] = v
+	}
+
+	// Deterministic iteration order.
+	addrs := make([]netaddr.Addr, 0, len(stats))
+	for a := range stats {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	// Passes 1..n-1: resolve IXP ports and unknown-origin addresses by
+	// successor majority (the replying router belongs to the member the
+	// probe enters next). Multiple passes handle chains.
+	for pass := 0; pass < opts.Passes; pass++ {
+		changed := 0
+		for _, a := range addrs {
+			s := stats[a]
+			if !s.isIXP && s.hasOrg {
+				continue
+			}
+			succAS, succFrac := majority(s.next, voteOp, opts.SameOrg, dsts)
+			if succAS == 0 || succFrac < opts.Threshold {
+				continue
+			}
+			if cur, ok := voteOp[a]; !ok || !opts.SameOrg(cur, succAS) {
+				voteOp[a] = succAS
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+
+	// Final pass: far-side detection. An interface numbered from A
+	// whose predecessors are A but whose successors are B is B's
+	// ingress on an A–B point-to-point link; it is operated by B. The
+	// signature is ambiguous in one corner: when an A–B link is
+	// numbered from B's space, A's border-ingress interface shows the
+	// same (preds=own, succs=foreign) pattern and gets flipped wrongly
+	// if B dominates its observed successors. One-directional
+	// traceroute corpora cannot break that tie (the /30 mate never
+	// appears); this is part of why MAP-IT reports >90% rather than
+	// 100% accuracy, and why §4.3 warns the algorithm "could fail or
+	// produce an incorrect inference".
+	op := make(map[netaddr.Addr]topology.ASN, len(voteOp))
+	for a, v := range voteOp {
+		op[a] = v
+	}
+	for _, a := range addrs {
+		if opts.DisableFarSide {
+			break
+		}
+		s := stats[a]
+		cur, hasCur := originVote[a]
+		if !hasCur || s.isIXP {
+			continue
+		}
+		succAS, succFrac := majority(s.next, originVote, opts.SameOrg, dsts)
+		// Unanimity required: a genuine far side forwards into exactly
+		// one foreign network. A mere majority would let the busiest
+		// neighbor of a shared border router capture the router's
+		// uplink interface, injecting a phantom third organization into
+		// every other neighbor's paths.
+		if succAS == 0 || opts.SameOrg(cur, succAS) || succFrac < 0.999 {
+			continue
+		}
+		predAS, predFrac := majority(s.prev, originVote, opts.SameOrg, dsts)
+		if len(s.prev) == 0 {
+			continue
+		}
+		if predAS != 0 && opts.SameOrg(predAS, cur) && predFrac >= opts.Threshold {
+			op[a] = succAS
+		}
+	}
+
+	inf := &Inference{Operator: op, opts: opts}
+
+	// Link extraction: adjacent responsive pairs whose operators belong
+	// to different organizations.
+	linkCount := map[[2]netaddr.Addr]int{}
+	for _, tr := range traces {
+		addrs := tr.ResponsiveAddrs()
+		end := len(addrs)
+		if tr.Reached {
+			end-- // final hop is the destination host
+		}
+		for i := 1; i < end; i++ {
+			a, b := addrs[i-1], addrs[i]
+			asA, okA := op[a]
+			asB, okB := op[b]
+			if !okA || !okB || opts.SameOrg(asA, asB) {
+				continue
+			}
+			linkCount[[2]netaddr.Addr{a, b}]++
+		}
+	}
+	for k, n := range linkCount {
+		asA := op[k[0]]
+		asB := op[k[1]]
+		inf.Links = append(inf.Links, Link{
+			Near: k[0], Far: k[1], NearAS: asA, FarAS: asB, Traces: n,
+		})
+	}
+	sort.Slice(inf.Links, func(i, j int) bool {
+		if inf.Links[i].Traces != inf.Links[j].Traces {
+			return inf.Links[i].Traces > inf.Links[j].Traces
+		}
+		if inf.Links[i].Near != inf.Links[j].Near {
+			return inf.Links[i].Near < inf.Links[j].Near
+		}
+		return inf.Links[i].Far < inf.Links[j].Far
+	})
+	return inf
+}
+
+// majority tallies operator votes over a neighbor SET (one vote per
+// distinct neighbor interface, not per trace — MAP-IT reasons over the
+// interface graph, and volume weighting would let one busy link
+// out-vote the rest of a shared border router's neighbors), collapsing
+// siblings onto a representative ASN. Destination-host neighbors are
+// excluded (they are not router interfaces). It returns the winning
+// ASN and its vote fraction (0 when no votes).
+func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
+	sameOrg func(a, b topology.ASN) bool, dsts map[netaddr.Addr]struct{}) (topology.ASN, float64) {
+
+	votes := map[topology.ASN]int{}
+	total := 0
+	for a := range neigh {
+		if _, isDst := dsts[a]; isDst {
+			continue
+		}
+		asn, ok := op[a]
+		if !ok {
+			continue
+		}
+		// Collapse onto an existing sibling key.
+		key := asn
+		for k := range votes {
+			if sameOrg(k, asn) {
+				key = k
+				break
+			}
+		}
+		votes[key]++
+		total++
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	var best topology.ASN
+	bestN := -1
+	for asn, n := range votes {
+		if n > bestN || (n == bestN && asn < best) {
+			best, bestN = asn, n
+		}
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+// ASPathOf maps a trace to the organization-collapsed AS-level path of
+// its responsive router hops (unknown hops are skipped; consecutive
+// same-org hops collapse). The destination's origin AS is appended
+// when the trace reached it, since the client itself proves the final
+// AS (§4.2's analysis counts AS hops between server and client).
+func (inf *Inference) ASPathOf(tr *traceroute.Trace) []topology.ASN {
+	var out []topology.ASN
+	addrs := tr.ResponsiveAddrs()
+	end := len(addrs)
+	if tr.Reached {
+		end--
+	}
+	push := func(asn topology.ASN) {
+		if len(out) > 0 && inf.opts.SameOrg(out[len(out)-1], asn) {
+			return
+		}
+		out = append(out, asn)
+	}
+	for _, a := range addrs[:end] {
+		if asn, ok := inf.Operator[a]; ok {
+			push(asn)
+		}
+	}
+	if tr.Reached {
+		if asn, ok := inf.opts.Prefix2AS(tr.DstAddr); ok {
+			push(asn)
+		}
+	}
+	return out
+}
+
+// LinksOf returns the inferred interdomain links a single trace
+// crossed, in path order.
+func (inf *Inference) LinksOf(tr *traceroute.Trace) []Link {
+	var out []Link
+	addrs := tr.ResponsiveAddrs()
+	end := len(addrs)
+	if tr.Reached {
+		end--
+	}
+	for i := 1; i < end; i++ {
+		a, b := addrs[i-1], addrs[i]
+		asA, okA := inf.Operator[a]
+		asB, okB := inf.Operator[b]
+		if !okA || !okB || inf.opts.SameOrg(asA, asB) {
+			continue
+		}
+		out = append(out, Link{Near: a, Far: b, NearAS: asA, FarAS: asB})
+	}
+	return out
+}

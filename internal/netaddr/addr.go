@@ -1,0 +1,163 @@
+// Package netaddr provides compact IPv4 address and prefix types and a
+// longest-prefix-match trie, used throughout throughputlab for address
+// planning, prefix-to-AS mapping, and IXP prefix lookups.
+//
+// Addresses are stored as host-order uint32 values so they can be used
+// directly as map keys and compared cheaply. The package is deliberately
+// IPv4-only: the May 2015 M-Lab corpus analysed by the paper is
+// IPv4-dominated (see DESIGN.md §6).
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses dotted-quad notation ("192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: invalid address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: invalid address %q", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for constants and tests.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// IsZero reports whether a is the zero address 0.0.0.0, used as "no address".
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Prefix is an IPv4 CIDR prefix. The address is stored masked: all bits
+// below Bits are zero.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns the prefix addr/bits with host bits cleared.
+// It panics if bits > 32 (programming error, not input error).
+func PrefixFrom(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netaddr: invalid prefix length %d", bits))
+	}
+	return Prefix{addr: addr.mask(bits), bits: uint8(bits)}
+}
+
+func (a Addr) mask(bits int) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return a & Addr(^uint32(0)<<(32-bits))
+}
+
+// ParsePrefix parses CIDR notation ("192.0.2.0/24"). The address part may
+// have host bits set; they are cleared.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: missing '/' in prefix %q", s)
+	}
+	addr, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix length in %q", s)
+	}
+	return PrefixFrom(addr, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Addr returns the (masked) network address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Contains reports whether the prefix contains the address.
+func (p Prefix) Contains(a Addr) bool { return a.mask(int(p.bits)) == p.addr }
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.bits) }
+
+// Nth returns the i-th address within the prefix (0 = network address).
+// It panics if i is out of range.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.NumAddrs() {
+		panic(fmt.Sprintf("netaddr: address index %d out of range for %v", i, p))
+	}
+	return p.addr + Addr(i)
+}
+
+// Subnet carves the i-th subnet of length newBits out of p.
+// It panics on invalid arguments.
+func (p Prefix) Subnet(newBits int, i uint64) Prefix {
+	if newBits < int(p.bits) || newBits > 32 {
+		panic(fmt.Sprintf("netaddr: cannot subnet %v to /%d", p, newBits))
+	}
+	n := uint64(1) << (newBits - int(p.bits))
+	if i >= n {
+		panic(fmt.Sprintf("netaddr: subnet index %d out of range for %v -> /%d", i, p, newBits))
+	}
+	return Prefix{addr: p.addr + Addr(i<<(32-newBits)), bits: uint8(newBits)}
+}
+
+// String returns CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.addr, p.bits) }
+
+// IsZero reports whether p is the zero Prefix (0.0.0.0/0 compares false;
+// the zero value has bits==0 and addr==0 which equals 0.0.0.0/0, so callers
+// that need an "unset" sentinel should track it separately; IsZero here
+// means "the zero value").
+func (p Prefix) IsZero() bool { return p == Prefix{} }

@@ -1,0 +1,355 @@
+package netaddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"192.0.2.1", AddrFrom4(192, 0, 2, 1), true},
+		{"10.1.2.3", AddrFrom4(10, 1, 2, 3), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"1.2.3.a", 0, false},
+		{"01.2.3.4", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrOctets(t *testing.T) {
+	a := MustParseAddr("203.0.113.77")
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 203 || o2 != 0 || o3 != 113 || o4 != 77 {
+		t.Errorf("Octets() = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("192.0.2.77/24")
+	if p.Addr() != MustParseAddr("192.0.2.0") {
+		t.Errorf("host bits not cleared: %v", p)
+	}
+	if p.Bits() != 24 {
+		t.Errorf("Bits() = %d", p.Bits())
+	}
+	if p.String() != "192.0.2.0/24" {
+		t.Errorf("String() = %q", p.String())
+	}
+	for _, bad := range []string{"192.0.2.0", "192.0.2.0/33", "192.0.2.0/-1", "x/24", "192.0.2.0/"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.8.0.0/14")
+	if !p.Contains(MustParseAddr("10.11.255.255")) {
+		t.Error("10.11.255.255 should be in 10.8.0.0/14")
+	}
+	if p.Contains(MustParseAddr("10.12.0.0")) {
+		t.Error("10.12.0.0 should not be in 10.8.0.0/14")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.255.255.255")) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	// Every prefix contains its own Nth addresses and nothing adjacent.
+	f := func(v uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		p := PrefixFrom(Addr(v), bits)
+		if !p.Contains(p.Addr()) {
+			return false
+		}
+		last := p.Nth(p.NumAddrs() - 1)
+		if !p.Contains(last) {
+			return false
+		}
+		if bits > 0 && uint32(last) != 0xFFFFFFFF && p.Contains(last+1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("10/8 and 10.5/16 overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("10/8 and 11/8 do not overlap")
+	}
+}
+
+func TestPrefixSubnet(t *testing.T) {
+	p := MustParsePrefix("172.16.0.0/12")
+	s0 := p.Subnet(16, 0)
+	if s0.String() != "172.16.0.0/16" {
+		t.Errorf("Subnet(16,0) = %v", s0)
+	}
+	s5 := p.Subnet(16, 5)
+	if s5.String() != "172.21.0.0/16" {
+		t.Errorf("Subnet(16,5) = %v", s5)
+	}
+	s15 := p.Subnet(16, 15)
+	if s15.String() != "172.31.0.0/16" {
+		t.Errorf("Subnet(16,15) = %v", s15)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range subnet index should panic")
+		}
+	}()
+	p.Subnet(16, 16)
+}
+
+func TestSubnetsDisjointProperty(t *testing.T) {
+	// Sibling subnets never overlap, and each is contained in the parent.
+	f := func(v uint32, extraRaw, iRaw, jRaw uint8) bool {
+		parentBits := int(v % 25) // 0..24
+		extra := 1 + int(extraRaw%6)
+		newBits := parentBits + extra
+		p := PrefixFrom(Addr(v), parentBits)
+		n := uint64(1) << extra
+		i, j := uint64(iRaw)%n, uint64(jRaw)%n
+		si, sj := p.Subnet(newBits, i), p.Subnet(newBits, j)
+		if !p.Contains(si.Addr()) || !p.Contains(sj.Addr()) {
+			return false
+		}
+		if i != j && si.Overlaps(sj) {
+			return false
+		}
+		return i != j || si == sj
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tb := NewTable[string]()
+	tb.Insert(MustParsePrefix("10.0.0.0/8"), "big")
+	tb.Insert(MustParsePrefix("10.1.0.0/16"), "mid")
+	tb.Insert(MustParsePrefix("10.1.2.0/24"), "small")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "small", true},
+		{"10.1.3.3", "mid", true},
+		{"10.2.0.1", "big", true},
+		{"11.0.0.1", "", false},
+	}
+	for _, c := range cases {
+		got, _, ok := tb.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = (%q, %v), want (%q, %v)", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", tb.Len())
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	tb := NewTable[int]()
+	tb.Insert(MustParsePrefix("0.0.0.0/0"), 42)
+	v, _, ok := tb.Lookup(MustParseAddr("198.51.100.9"))
+	if !ok || v != 42 {
+		t.Errorf("default route lookup = (%d, %v)", v, ok)
+	}
+}
+
+func TestTableGetExact(t *testing.T) {
+	tb := NewTable[int]()
+	p := MustParsePrefix("192.168.0.0/16")
+	tb.Insert(p, 7)
+	if v, ok := tb.Get(p); !ok || v != 7 {
+		t.Errorf("Get = (%d, %v)", v, ok)
+	}
+	if _, ok := tb.Get(MustParsePrefix("192.168.0.0/17")); ok {
+		t.Error("Get of unstored more-specific should miss")
+	}
+	if _, ok := tb.Get(MustParsePrefix("192.0.0.0/8")); ok {
+		t.Error("Get of unstored less-specific should miss")
+	}
+}
+
+func TestTableInsertReplace(t *testing.T) {
+	tb := NewTable[int]()
+	p := MustParsePrefix("10.0.0.0/8")
+	tb.Insert(p, 1)
+	tb.Insert(p, 2)
+	if tb.Len() != 1 {
+		t.Errorf("Len() = %d after replace, want 1", tb.Len())
+	}
+	if v, _ := tb.Get(p); v != 2 {
+		t.Errorf("replaced value = %d, want 2", v)
+	}
+}
+
+func TestTableWalkOrderAndCompleteness(t *testing.T) {
+	tb := NewTable[int]()
+	ins := []string{"10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8", "10.128.0.0/9", "0.0.0.0/0"}
+	for i, s := range ins {
+		tb.Insert(MustParsePrefix(s), i)
+	}
+	var seen []Prefix
+	tb.Walk(func(p Prefix, _ int) bool {
+		seen = append(seen, p)
+		return true
+	})
+	if len(seen) != len(ins) {
+		t.Fatalf("walk saw %d prefixes, want %d", len(seen), len(ins))
+	}
+	for i := 1; i < len(seen); i++ {
+		a, b := seen[i-1], seen[i]
+		if a.Addr() > b.Addr() || (a.Addr() == b.Addr() && a.Bits() >= b.Bits()) {
+			t.Errorf("walk order violated: %v before %v", a, b)
+		}
+	}
+}
+
+func TestTableWalkEarlyStop(t *testing.T) {
+	tb := NewTable[int]()
+	for i := 0; i < 10; i++ {
+		tb.Insert(MustParsePrefix("10.0.0.0/8").Subnet(16, uint64(i)), i)
+	}
+	n := 0
+	tb.Walk(func(Prefix, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("walk visited %d, want 3 (early stop)", n)
+	}
+}
+
+// TestTableLookupMatchesLinearScan cross-checks the trie against a naive
+// implementation on random inputs.
+func TestTableLookupMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := NewTable[int]()
+	var prefixes []Prefix
+	for i := 0; i < 300; i++ {
+		bits := 4 + rng.Intn(25)
+		p := PrefixFrom(Addr(rng.Uint32()), bits)
+		tb.Insert(p, i)
+		prefixes = append(prefixes, p)
+	}
+	naive := func(a Addr) (int, bool) {
+		best, bestBits, found := 0, -1, false
+		for i, p := range prefixes {
+			if p.Contains(a) && p.Bits() > bestBits {
+				best, bestBits, found = i, p.Bits(), true
+			}
+		}
+		// Later inserts replace earlier equal prefixes; emulate by
+		// scanning backwards for the same (addr,bits).
+		if found {
+			for i := len(prefixes) - 1; i >= 0; i-- {
+				if prefixes[i].Bits() == bestBits && prefixes[i].Contains(a) {
+					best = i
+					break
+				}
+			}
+		}
+		return best, found
+	}
+	for i := 0; i < 2000; i++ {
+		a := Addr(rng.Uint32())
+		wantV, wantOK := naive(a)
+		gotV, _, gotOK := tb.Lookup(a)
+		if gotOK != wantOK || (gotOK && gotV != wantV) {
+			t.Fatalf("Lookup(%v) = (%d,%v), naive (%d,%v)", a, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tb := NewTable[int]()
+	for i := 0; i < 20000; i++ {
+		tb.Insert(PrefixFrom(Addr(rng.Uint32()), 8+rng.Intn(17)), i)
+	}
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func TestAddrTextMarshal(t *testing.T) {
+	a := MustParseAddr("192.0.2.9")
+	b, err := a.MarshalText()
+	if err != nil || string(b) != "192.0.2.9" {
+		t.Errorf("MarshalText = %q, %v", b, err)
+	}
+	var back Addr
+	if err := back.UnmarshalText(b); err != nil || back != a {
+		t.Errorf("UnmarshalText round trip failed: %v %v", back, err)
+	}
+	if err := back.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus address should fail")
+	}
+}
+
+func TestPrefixTextMarshal(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/14")
+	b, err := p.MarshalText()
+	if err != nil || string(b) != "10.0.0.0/14" {
+		t.Errorf("MarshalText = %q, %v", b, err)
+	}
+	var back Prefix
+	if err := back.UnmarshalText(b); err != nil || back != p {
+		t.Errorf("UnmarshalText round trip failed: %v %v", back, err)
+	}
+	if err := back.UnmarshalText([]byte("10.0.0.0")); err == nil {
+		t.Error("missing length should fail")
+	}
+}

@@ -1,0 +1,22 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"throughputlab/internal/netaddr"
+)
+
+// A longest-prefix-match table, as used for the CAIDA-style prefix→AS
+// mapping.
+func ExampleTable() {
+	t := netaddr.NewTable[int]()
+	t.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), 3356)
+	t.Insert(netaddr.MustParsePrefix("10.1.0.0/16"), 7922)
+	asn, prefix, _ := t.Lookup(netaddr.MustParseAddr("10.1.2.3"))
+	fmt.Println(asn, prefix)
+	asn, prefix, _ = t.Lookup(netaddr.MustParseAddr("10.9.0.1"))
+	fmt.Println(asn, prefix)
+	// Output:
+	// 7922 10.1.0.0/16
+	// 3356 10.0.0.0/8
+}

@@ -1,0 +1,30 @@
+package netaddr
+
+// Text marshaling so addresses and prefixes serialize as dotted-quad
+// strings in JSON datasets rather than opaque integers.
+
+// MarshalText implements encoding.TextMarshaler.
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Addr) UnmarshalText(b []byte) error {
+	v, err := ParseAddr(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p Prefix) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Prefix) UnmarshalText(b []byte) error {
+	v, err := ParsePrefix(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}

@@ -1,0 +1,114 @@
+package netaddr
+
+// Table is a longest-prefix-match routing table mapping prefixes to
+// values of type V. It is implemented as a binary trie; inserts and
+// lookups are O(prefix length). The zero value is not usable; call
+// NewTable.
+//
+// Table is used for prefix→AS mapping (CAIDA-style), IXP prefix lists,
+// and client address allocation lookups.
+type Table[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of prefixes in the table.
+func (t *Table[V]) Len() int { return t.size }
+
+// Insert adds or replaces the value for an exact prefix.
+func (t *Table[V]) Insert(p Prefix, v V) {
+	n := t.root
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Lookup returns the value of the longest prefix containing addr.
+func (t *Table[V]) Lookup(addr Addr) (V, Prefix, bool) {
+	var (
+		best     V
+		bestBits = -1
+	)
+	n := t.root
+	a := uint32(addr)
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestBits = n.val, i
+		}
+		if i == 32 {
+			break
+		}
+		b := (a >> (31 - i)) & 1
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	if bestBits < 0 {
+		var zero V
+		return zero, Prefix{}, false
+	}
+	return best, PrefixFrom(addr, bestBits), true
+}
+
+// Get returns the value stored for the exact prefix p.
+func (t *Table[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - i)) & 1
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Walk calls fn for every (prefix, value) pair in the table in
+// lexicographic (address, length) order. If fn returns false the walk
+// stops.
+func (t *Table[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Table[V]) walk(n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(PrefixFrom(Addr(addr), depth), n.val) {
+		return false
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	if depth < 32 {
+		return t.walk(n.child[1], addr|1<<(31-depth), depth+1, fn)
+	}
+	return true
+}

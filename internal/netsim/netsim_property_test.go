@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestHigherTierNeverSlower: raising the plan rate can only help.
+func TestHigherTierNeverSlower(t *testing.T) {
+	n := buildFlowNet(t, 5000, 0.3, 0.9)
+	for h := 0; h < 24; h += 2 {
+		prev := -1.0
+		for _, tier := range []float64{5, 10, 25, 50, 100, 200} {
+			res := n.model.BulkFlow(n.path, minuteAtLocalHour(h), FlowOpts{TierMbps: tier}, nil)
+			if res.ThroughputMbps < prev-1e-9 {
+				t.Fatalf("hour %d: tier %v slower (%v) than a lower tier (%v)",
+					h, tier, res.ThroughputMbps, prev)
+			}
+			prev = res.ThroughputMbps
+		}
+	}
+}
+
+// TestUtilMonotoneInPeak: for a fixed time at the diurnal peak,
+// raising PeakUtil never lowers ρ.
+func TestUtilMonotoneInPeak(t *testing.T) {
+	f := func(baseRaw, peakRaw1, peakRaw2 float64) bool {
+		base := math.Abs(math.Mod(baseRaw, 0.5))
+		d1 := math.Abs(math.Mod(peakRaw1, 0.8))
+		d2 := math.Abs(math.Mod(peakRaw2, 0.8))
+		lo, hi := base+math.Min(d1, d2), base+math.Max(d1, d2)
+		// Same shape factor applies; rho is affine in PeakUtil.
+		shape := 0.7
+		rhoLo := base + (lo-base)*shape
+		rhoHi := base + (hi-base)*shape
+		return rhoHi >= rhoLo-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowRTTNeverBelowBase: the loaded RTT is always at least the
+// start RTT, which is at least the propagation RTT.
+func TestFlowRTTNeverBelowBase(t *testing.T) {
+	n := buildFlowNet(t, 2000, 0.45, 1.3)
+	for h := 0; h < 24; h++ {
+		for _, tier := range []float64{6, 50, 150} {
+			res := n.model.BulkFlow(n.path, minuteAtLocalHour(h), FlowOpts{TierMbps: tier}, nil)
+			if res.StartRTTms < res.BaseRTTms-1e-9 {
+				t.Fatalf("start RTT %.2f below base %.2f", res.StartRTTms, res.BaseRTTms)
+			}
+			if res.RTTms < res.StartRTTms-1e-9 {
+				t.Fatalf("loaded RTT %.2f below start %.2f", res.RTTms, res.StartRTTms)
+			}
+			if math.Abs(res.SelfQueueMs-(res.RTTms-res.StartRTTms)) > 1e-9 {
+				t.Fatalf("self queue bookkeeping inconsistent: %v vs %v",
+					res.SelfQueueMs, res.RTTms-res.StartRTTms)
+			}
+		}
+	}
+}
+
+// TestSaturatedFlowsDontSelfQueue: flows squeezed by an already-full
+// buffer build almost no standing queue of their own — the signature
+// discriminator must hold at the model level.
+func TestSaturatedFlowsDontSelfQueue(t *testing.T) {
+	congested := buildFlowNet(t, 2000, 0.45, 1.3)
+	peak := congested.model.BulkFlow(congested.path, minuteAtLocalHour(21), FlowOpts{TierMbps: 18}, nil)
+	if !peak.BottleneckSaturated {
+		t.Fatal("peak flow should cross a saturated link")
+	}
+	if peak.SelfQueueMs > 5 {
+		t.Errorf("saturated-path flow self-queued %.1f ms", peak.SelfQueueMs)
+	}
+
+	healthy := buildFlowNet(t, 100000, 0.1, 0.3)
+	off := healthy.model.BulkFlow(healthy.path, minuteAtLocalHour(21), FlowOpts{TierMbps: 18}, nil)
+	if off.BottleneckSaturated {
+		t.Fatal("healthy path flagged saturated")
+	}
+	if off.SelfQueueMs < 10 {
+		t.Errorf("tier-limited flow self-queued only %.1f ms; discriminator too weak", off.SelfQueueMs)
+	}
+	// And the relative inflations separate.
+	inflSat := peak.SelfQueueMs / peak.StartRTTms
+	inflSelf := off.SelfQueueMs / off.StartRTTms
+	if inflSelf <= 2*inflSat {
+		t.Errorf("inflation separation weak: saturated %.2f vs self %.2f", inflSat, inflSelf)
+	}
+}
+
+// TestZeroTierMeansUnshaped: TierMbps 0 must not clamp throughput.
+func TestZeroTierMeansUnshaped(t *testing.T) {
+	n := buildFlowNet(t, 10000, 0.1, 0.3)
+	res := n.model.BulkFlow(n.path, minuteAtLocalHour(4), FlowOpts{}, nil)
+	if res.ThroughputMbps < 100 {
+		t.Errorf("unshaped flow got only %.1f Mbps", res.ThroughputMbps)
+	}
+	if res.Kind == LimitAccessPlan || res.Kind == LimitHomeWiFi {
+		t.Errorf("unshaped flow limited by %v", res.Kind)
+	}
+}
+
+// TestBottleneckKindStrings covers the stringer.
+func TestBottleneckKindStrings(t *testing.T) {
+	for _, k := range []BottleneckKind{LimitAccessPlan, LimitHomeWiFi, LimitLink, LimitLatency} {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has bad string", k)
+		}
+	}
+	if BottleneckKind(99).String() != "unknown" {
+		t.Error("unknown kind should say so")
+	}
+}

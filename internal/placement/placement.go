@@ -1,0 +1,283 @@
+// Package placement turns the paper's §7 recommendation — "strategic
+// deployment of server infrastructure to maximize coverage" — into an
+// algorithm, and quantifies how far the latency-first placement that
+// M-Lab actually uses (§2: minimize RTT to clients) falls short of it.
+//
+// A candidate slot is a (host network, metro) pair that could host a
+// measurement server. A slot "covers" an interconnection of an access
+// ISP when a test from a client/VP in that ISP toward a server in the
+// slot would traverse it. Maximizing the number of covered (ISP, peer)
+// interconnections under a server budget is weighted set cover; the
+// standard greedy algorithm gives the (1−1/e) approximation.
+package placement
+
+import (
+	"sort"
+
+	"throughputlab/internal/geo"
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/routing"
+	"throughputlab/internal/topogen"
+	"throughputlab/internal/topology"
+)
+
+// Candidate is one feasible server slot.
+type Candidate struct {
+	Network string
+	ASN     topology.ASN
+	Metro   string
+	// Endpoint is a host attached in the slot (used to resolve paths).
+	Endpoint routing.Endpoint
+}
+
+// Candidates enumerates feasible slots: every metro of every transit
+// network, plus regional/hosting networks (one slot per presence
+// metro). Access ISPs themselves are excluded — a server inside the
+// measured ISP observes none of its interconnections.
+func Candidates(w *topogen.World) []Candidate {
+	var out []Candidate
+	for _, asn := range w.Topo.ASNs() {
+		as := w.Topo.AS(asn)
+		if as.Type == topology.ASTypeAccess || as.Type == topology.ASTypeIXP {
+			continue
+		}
+		// Stubs other than hosting-capable ones are unrealistic hosts;
+		// keep the roster manageable: transit + content + every 10th
+		// stub (hosting companies).
+		if as.Type == topology.ASTypeStub && asn%10 != 0 {
+			continue
+		}
+		for _, metro := range as.Metros {
+			core := coreAt(w, asn, metro)
+			if core == nil {
+				continue
+			}
+			out = append(out, Candidate{
+				Network: as.Name, ASN: asn, Metro: metro,
+				Endpoint: routing.Endpoint{
+					Addr: standIn(core), ASN: asn, Metro: metro, Router: core.ID,
+				},
+			})
+		}
+	}
+	return out
+}
+
+func coreAt(w *topogen.World, asn topology.ASN, metro string) *topology.Router {
+	for _, r := range w.Topo.AS(asn).Routers {
+		if r.Metro == metro && r.Kind == topology.RouterCore {
+			return r
+		}
+	}
+	for _, r := range w.Topo.AS(asn).Routers {
+		if r.Metro == metro {
+			return r
+		}
+	}
+	return nil
+}
+
+// standIn returns an address usable for path resolution: the planner
+// only needs flow-hash inputs, so the router's first interface address
+// suffices as the hypothetical server's address.
+func standIn(r *topology.Router) netaddr.Addr {
+	for _, ifc := range r.Ifaces {
+		if !ifc.Addr.IsZero() {
+			return ifc.Addr
+		}
+	}
+	return 0
+}
+
+// CoverKey identifies one AS-level interconnection of one access org.
+type CoverKey struct {
+	ISP      string
+	Neighbor topology.ASN
+}
+
+// Matrix precomputes, for every candidate, the set of interconnections
+// it would cover across the given vantage points.
+type Matrix struct {
+	Cands []Candidate
+	// Covers[i] lists the keys candidate i covers.
+	Covers [][]CoverKey
+	// Universe is every coverable key (union over candidates) — the
+	// reachable denominator.
+	Universe map[CoverKey]bool
+	// PeerUniverse restricts the universe to peer interconnections.
+	PeerUniverse map[CoverKey]bool
+}
+
+// BuildMatrix resolves a path from every VP to every candidate and
+// records the first interconnection out of the VP's network (ground
+// truth — this is a planning tool run by someone who has bdrmap data).
+func BuildMatrix(w *topogen.World, cands []Candidate) *Matrix {
+	m := &Matrix{
+		Cands:        cands,
+		Covers:       make([][]CoverKey, len(cands)),
+		Universe:     map[CoverKey]bool{},
+		PeerUniverse: map[CoverKey]bool{},
+	}
+	for ci, c := range cands {
+		seen := map[CoverKey]bool{}
+		for _, vp := range w.ArkVPs {
+			org := orgSet(w, vp.ISP)
+			path, err := w.Resolver.Resolve(vp.Host.Endpoint, c.Endpoint,
+				routing.FlowKey(vp.Host.Endpoint.Addr, c.Endpoint.Addr, 1))
+			if err != nil {
+				continue
+			}
+			for _, l := range path.InterdomainLinks() {
+				var neighbor topology.ASN
+				switch {
+				case org[l.ASA()] && !org[l.ASB()]:
+					neighbor = l.ASB()
+				case org[l.ASB()] && !org[l.ASA()]:
+					neighbor = l.ASA()
+				default:
+					continue
+				}
+				k := CoverKey{ISP: vp.ISP, Neighbor: neighbor}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				m.Universe[k] = true
+				if isPeer(w, vp.ISP, neighbor) {
+					m.PeerUniverse[k] = true
+				}
+				m.Covers[ci] = append(m.Covers[ci], k)
+				break // only the first crossing out of the VP network
+			}
+		}
+	}
+	return m
+}
+
+func orgSet(w *topogen.World, isp string) map[topology.ASN]bool {
+	out := map[topology.ASN]bool{}
+	for _, a := range w.Access[isp].Org.ASNs {
+		out[a] = true
+	}
+	return out
+}
+
+func isPeer(w *topogen.World, isp string, n topology.ASN) bool {
+	for _, o := range w.Access[isp].Org.ASNs {
+		if w.Topo.RelOf(o, n) == topology.RelPeer {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a chosen deployment and its coverage trajectory.
+type Plan struct {
+	Chosen []Candidate
+	// CoveredAfter[i] is the number of covered keys after placing the
+	// first i+1 servers.
+	CoveredAfter []int
+	// Universe is the coverable total under the same filter.
+	Universe int
+}
+
+// Greedy picks k slots maximizing marginal coverage (peersOnly filters
+// the objective to peer interconnections, the ones that matter for
+// interdomain congestion per §5.2). Deterministic: ties break on the
+// earlier candidate.
+func (m *Matrix) Greedy(k int, peersOnly bool) Plan {
+	keep := func(key CoverKey) bool {
+		return !peersOnly || m.PeerUniverse[key]
+	}
+	universe := 0
+	for key := range m.Universe {
+		if keep(key) {
+			universe++
+		}
+	}
+	covered := map[CoverKey]bool{}
+	used := make([]bool, len(m.Cands))
+	plan := Plan{Universe: universe}
+	for len(plan.Chosen) < k {
+		best, bestGain := -1, 0
+		for ci := range m.Cands {
+			if used[ci] {
+				continue
+			}
+			gain := 0
+			for _, key := range m.Covers[ci] {
+				if keep(key) && !covered[key] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = ci, gain
+			}
+		}
+		if best < 0 {
+			break // nothing adds coverage
+		}
+		used[best] = true
+		for _, key := range m.Covers[best] {
+			if keep(key) {
+				covered[key] = true
+			}
+		}
+		plan.Chosen = append(plan.Chosen, m.Cands[best])
+		plan.CoveredAfter = append(plan.CoveredAfter, len(covered))
+	}
+	return plan
+}
+
+// LatencyFirst reproduces the latency-driven strategy (§2: place
+// servers to minimize RTT to the client population): slots are ranked
+// by population-weighted proximity, restricted to well-connected
+// transit hosts, and coverage is whatever falls out.
+func (m *Matrix) LatencyFirst(w *topogen.World, k int, peersOnly bool) Plan {
+	type scored struct {
+		ci   int
+		cost float64
+	}
+	var list []scored
+	for ci, c := range m.Cands {
+		if w.Topo.AS(c.ASN).Type != topology.ASTypeTransit {
+			continue
+		}
+		cm := w.Topo.MustMetro(c.Metro)
+		cost := 0.0
+		for _, metro := range w.Topo.Metros {
+			cost += metro.Weight * geo.PropagationDelayMs(cm, metro)
+		}
+		list = append(list, scored{ci: ci, cost: cost})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].cost != list[j].cost {
+			return list[i].cost < list[j].cost
+		}
+		return list[i].ci < list[j].ci
+	})
+	keep := func(key CoverKey) bool {
+		return !peersOnly || m.PeerUniverse[key]
+	}
+	universe := 0
+	for key := range m.Universe {
+		if keep(key) {
+			universe++
+		}
+	}
+	covered := map[CoverKey]bool{}
+	plan := Plan{Universe: universe}
+	for _, s := range list {
+		if len(plan.Chosen) == k {
+			break
+		}
+		for _, key := range m.Covers[s.ci] {
+			if keep(key) {
+				covered[key] = true
+			}
+		}
+		plan.Chosen = append(plan.Chosen, m.Cands[s.ci])
+		plan.CoveredAfter = append(plan.CoveredAfter, len(covered))
+	}
+	return plan
+}

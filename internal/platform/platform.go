@@ -1,0 +1,220 @@
+// Package platform models the measurement platforms of the paper: the
+// M-Lab NDT service with its crowdsourced client population, server
+// selection, and Paris traceroute collection (including the
+// single-threaded-collector artifact that loses ~25% of traceroutes,
+// §4.1); Speedtest-style server lists; and Ark-style vantage points
+// that run topology campaigns (§5.1).
+package platform
+
+import (
+	"math/rand"
+	"sort"
+
+	"throughputlab/internal/datasets"
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/netsim"
+	"throughputlab/internal/routing"
+	"throughputlab/internal/stats"
+	"throughputlab/internal/topogen"
+	"throughputlab/internal/traceroute"
+)
+
+// Household is one crowdsourcing client: a home that may run NDT tests.
+type Household struct {
+	ISP      string
+	Endpoint routing.Endpoint
+	TierMbps float64
+	// WiFiCapMbps is 0 for wired homes.
+	WiFiCapMbps float64
+}
+
+// BuildPopulation creates households for every (ISP, metro) pool. Tier
+// and Wi-Fi draws follow the ISP profiles; the same seed yields the
+// same population.
+func BuildPopulation(w *topogen.World, perPoolClients int, seed int64) []Household {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Household
+	for _, p := range datasets.AccessISPs() {
+		for _, metro := range p.Metros {
+			for i := 0; i < perPoolClients; i++ {
+				ep, ok := w.NewClient(p.Name, metro)
+				if !ok {
+					continue
+				}
+				tw := make([]float64, len(p.Tiers))
+				for ti, tier := range p.Tiers {
+					tw[ti] = tier.Weight
+				}
+				tier := p.Tiers[stats.WeightedChoice(tw, rng)].DownMbps
+				wifi := 0.0
+				if rng.Float64() < p.WiFiDegradedFrac {
+					wifi = 10 + 45*rng.Float64()
+				}
+				out = append(out, Household{
+					ISP: p.Name, Endpoint: ep, TierMbps: tier, WiFiCapMbps: wifi,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CollectConfig parameterizes a corpus collection campaign.
+type CollectConfig struct {
+	Seed int64
+	// Days of simulated collection (the paper's case study is one
+	// month, May 2015).
+	Days int
+	// Tests is the total number of NDT tests to run.
+	Tests int
+	// PerPoolClients sizes the household population.
+	PerPoolClients int
+	// BattleForNet makes each client test against up to five nearby
+	// sites back-to-back instead of only the closest (§2.2).
+	BattleForNet bool
+	// TracerouteDurationMin is how long the single-threaded collector
+	// is busy per traceroute; concurrent NDT arrivals at the same
+	// server lose their traceroute (§4.1).
+	TracerouteDurationMin int
+	// Artifacts configures traceroute imperfections.
+	Artifacts traceroute.Artifacts
+}
+
+// DefaultCollect returns the standard May-2015-style campaign.
+func DefaultCollect() CollectConfig {
+	return CollectConfig{
+		Seed:                  7,
+		Days:                  28,
+		Tests:                 60000,
+		PerPoolClients:        40,
+		TracerouteDurationMin: 3,
+		Artifacts:             traceroute.DefaultArtifacts(),
+	}
+}
+
+// Corpus is everything the platform publishes: NDT test records and
+// (unassociated) Paris traceroutes. Inference code must join them by
+// endpoint and time window, exactly as §4.1 describes.
+type Corpus struct {
+	Tests  []*ndt.Test
+	Traces []*traceroute.Trace
+	// TestsWithoutTrace counts tests whose traceroute was skipped by
+	// the busy collector (ground truth for the matching experiment).
+	TestsWithoutTrace int
+}
+
+// testVolumeShape is the diurnal test-arrival profile: crowdsourced
+// users run tests mostly in the evening, rarely at 4am (§6.1 "time of
+// day bias").
+func testVolumeShape(localHour float64) float64 {
+	return 0.06 + 0.94*netsim.DiurnalShape(localHour)
+}
+
+// Collect runs a full crowdsourced campaign.
+func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	households := BuildPopulation(w, cfg.PerPoolClients, cfg.Seed+1)
+	runner := ndt.NewRunner(w)
+	tracer := traceroute.New(w.Topo, w.Resolver, cfg.Artifacts)
+
+	// Weight households by ISP subscriber counts so the corpus mirrors
+	// the real user base (Table 1).
+	subs := map[string]float64{}
+	for _, p := range datasets.AccessISPs() {
+		s := p.SubscribersM
+		if s == 0 {
+			s = 0.4 // below-table ISPs still contribute a trickle
+		}
+		subs[p.Name] = s
+	}
+	hw := make([]float64, len(households))
+	for i, h := range households {
+		hw[i] = subs[h.ISP]
+	}
+
+	// Hour-of-day weights for arrivals, in client local time. Sampling:
+	// pick household, then pick a local hour by volume, then convert to
+	// a UTC minute on a random day.
+	var hourW [24]float64
+	for h := 0; h < 24; h++ {
+		hourW[h] = testVolumeShape(float64(h) + 0.5)
+	}
+
+	// Schedule arrivals first, then execute in time order so the
+	// single-threaded collector state is evaluated correctly.
+	type arrival struct {
+		hh      int
+		minute  int
+		site    *topogen.MLabSite
+		entropy uint32
+	}
+	var schedule []arrival
+	for n := 0; n < cfg.Tests; n++ {
+		hi := stats.WeightedChoice(hw, rng)
+		h := households[hi]
+		metro := w.Topo.MustMetro(h.Endpoint.Metro)
+		localH := stats.WeightedChoice(hourW[:], rng)
+		day := rng.Intn(cfg.Days)
+		utcH := ((localH-metro.UTCOffset)%24 + 24) % 24
+		minute := day*1440 + utcH*60 + rng.Intn(60)
+
+		sites := w.NearestMLabSite(h.Endpoint.Metro, 0)
+		if cfg.BattleForNet {
+			// The Battle-for-the-Net wrapper tests back-to-back against
+			// up to five servers in the region (§2.2).
+			sites = w.NearestMLabSite(h.Endpoint.Metro, 6)
+			if len(sites) > 5 {
+				sites = sites[:5]
+			}
+		} else if len(sites) > 1 {
+			// The M-Lab backend picks one server near the client.
+			i := rng.Intn(len(sites))
+			sites = sites[i : i+1]
+		}
+		for _, site := range sites {
+			schedule = append(schedule, arrival{
+				hh: hi, minute: minute, site: site, entropy: rng.Uint32(),
+			})
+			minute += 2 + rng.Intn(3) // back-to-back tests (BattleForNet)
+		}
+	}
+	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].minute < schedule[j].minute })
+
+	corpus := &Corpus{}
+	// busyUntil tracks each server's single-threaded traceroute
+	// collector.
+	busyUntil := map[string]int{}
+	for id, a := range schedule {
+		h := households[a.hh]
+		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
+		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
+			server, a.minute, a.entropy, rng)
+		if err != nil {
+			return nil, err
+		}
+		corpus.Tests = append(corpus.Tests, test)
+
+		// Server-side Paris traceroute toward the client, if the
+		// collector is idle (§4.1's single-threaded process).
+		if busyUntil[server.Name] > a.minute {
+			corpus.TestsWithoutTrace++
+			continue
+		}
+		// Launch lag: the collector queues behind test teardown, and
+		// recorded timestamps skew slightly, so a trace can carry a
+		// timestamp up to ~2 minutes BEFORE its test and as much as ~10
+		// minutes after — which is why the paper's ±window matching
+		// recovers more pairs than the after-only window (§4.1).
+		launch := a.minute - 2 + rng.Intn(13)
+		if launch < 0 {
+			launch = 0
+		}
+		busyUntil[server.Name] = launch + cfg.TracerouteDurationMin
+		tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launch, rng)
+		if err != nil {
+			return nil, err
+		}
+		corpus.Traces = append(corpus.Traces, tr)
+	}
+	return corpus, nil
+}

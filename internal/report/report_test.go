@@ -1,0 +1,179 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"throughputlab/internal/experiments"
+)
+
+var env = func() *experiments.Env {
+	e, err := experiments.NewEnv(experiments.QuickOptions())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}()
+
+var built = Build(env, DefaultConfig())
+
+func findingFor(net, metro, isp string) *Finding {
+	for i := range built.Findings {
+		f := &built.Findings[i]
+		if f.ServerNet == net && f.ServerMetro == metro && f.ClientISP == isp {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestBuildProducesFindings(t *testing.T) {
+	if len(built.Findings) < 10 {
+		t.Fatalf("only %d findings", len(built.Findings))
+	}
+	// Sorted by (net, metro, isp).
+	for i := 1; i < len(built.Findings); i++ {
+		a, b := built.Findings[i-1], built.Findings[i]
+		ka := a.ServerNet + "|" + a.ServerMetro + "|" + a.ClientISP
+		kb := b.ServerNet + "|" + b.ServerMetro + "|" + b.ClientISP
+		if ka > kb {
+			t.Fatal("findings unsorted")
+		}
+	}
+	for _, f := range built.Findings {
+		if f.Tests < DefaultConfig().MinTests {
+			t.Fatalf("finding below MinTests: %+v", f)
+		}
+		if f.MatchedFrac < 0 || f.MatchedFrac > 1 || f.OneHopFrac < 0 || f.OneHopFrac > 1 {
+			t.Fatalf("fractions out of range: %+v", f)
+		}
+	}
+}
+
+func TestCongestedPairGradedCongested(t *testing.T) {
+	f := findingFor("GTT", "atl", "AT&T")
+	if f == nil {
+		t.Skip("GTT/atl→AT&T group below size threshold at this scale")
+	}
+	if f.Grade != CongestedHighConfidence && f.Grade != CongestedLowConfidence {
+		t.Errorf("saturated pair graded %v", f.Grade)
+	}
+	// The corroborating signature evidence should be strong.
+	if f.ExternalSigFrac < 0.5 {
+		t.Errorf("external signature fraction %.2f low for a saturated pair", f.ExternalSigFrac)
+	}
+}
+
+func TestBusyPairNotCongested(t *testing.T) {
+	f := findingFor("GTT", "atl", "Comcast")
+	if f == nil {
+		t.Skip("GTT/atl→Comcast group below size threshold")
+	}
+	if f.Grade == CongestedHighConfidence || f.Grade == CongestedLowConfidence {
+		t.Errorf("busy pair graded %v (drop %.2f)", f.Grade, f.Detector.Drop)
+	}
+}
+
+func TestChallengeCaveatsAppear(t *testing.T) {
+	// Somewhere in the corpus the assumption checks must fire: Charter/
+	// Cox groups are mostly multi-hop, so their findings (when large
+	// enough) should carry the Assumption-2 caveat; at minimum, SOME
+	// finding carries SOME caveat.
+	caveated := 0
+	assumption2 := 0
+	for _, f := range built.Findings {
+		if len(f.Caveats) > 0 {
+			caveated++
+		}
+		for _, c := range f.Caveats {
+			if strings.Contains(c, "Assumption 2") {
+				assumption2++
+			}
+		}
+	}
+	if caveated == 0 {
+		t.Error("no finding carries any caveat; the challenge checks are dead")
+	}
+	if assumption2 == 0 {
+		t.Log("note: no Assumption-2 caveat at this scale (all large groups one-hop)")
+	}
+}
+
+func TestGradeString(t *testing.T) {
+	for g := Insufficient; g <= CongestedHighConfidence; g++ {
+		if g.String() == "" {
+			t.Fatalf("grade %d has no string", g)
+		}
+	}
+	if Grade(42).String() == "" {
+		t.Error("unknown grade should stringify")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := built.Render()
+	if !strings.Contains(out, "congested") {
+		t.Error("render missing summary")
+	}
+	if built.Congested > 0 && !strings.Contains(out, "congested (") {
+		t.Error("congested findings not rendered")
+	}
+}
+
+func TestCongestedCountsConsistent(t *testing.T) {
+	cong, amb := 0, 0
+	for _, f := range built.Findings {
+		switch f.Grade {
+		case CongestedHighConfidence, CongestedLowConfidence:
+			cong++
+		case Ambiguous:
+			amb++
+		}
+	}
+	if cong != built.Congested || amb != built.Ambiguous {
+		t.Errorf("summary counts (%d,%d) != recount (%d,%d)", built.Congested, built.Ambiguous, cong, amb)
+	}
+	if cong == 0 {
+		t.Error("the default scenario has saturated interconnections; the report should find at least one")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	r := Build(env, Config{})
+	if len(r.Findings) == 0 {
+		t.Error("zero config should default, not produce nothing")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(env, cfg)
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	recs := built.Recommendations()
+	if len(recs) == 0 {
+		t.Fatal("the default corpus exhibits several §7 problems; recommendations expected")
+	}
+	// The multi-link problem is structural in this world.
+	found := false
+	for _, r := range recs {
+		if strings.Contains(r, "stratify per IP link") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing the §4.3 stratification recommendation")
+	}
+	// And they surface in the render.
+	if !strings.Contains(built.Render(), "recommendations (§7):") {
+		t.Error("render missing recommendations")
+	}
+	// Empty report: no recommendations.
+	if (&Report{}).Recommendations() != nil {
+		t.Error("empty report should have no recommendations")
+	}
+}

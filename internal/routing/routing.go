@@ -1,0 +1,347 @@
+// Package routing resolves router-level forwarding paths over the
+// topology, using the AS-level decisions from package bgp.
+//
+// Within an AS the path follows the ingress router → metro core →
+// egress-metro core → egress border router structure the generator
+// builds. Between ASes, when several interdomain links realize one AS
+// adjacency (the common case for large networks, §4.3), the egress link
+// is chosen to minimize propagation delay through the link toward the
+// destination ("latency-greedy", a hot/cold-potato compromise), with
+// near-ties and parallel links broken by a per-flow hash — the
+// load-balancing behaviour Paris traceroute is designed to hold fixed
+// within one trace (§3).
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"throughputlab/internal/bgp"
+	"throughputlab/internal/geo"
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/topology"
+)
+
+// Endpoint is one end of a measured path: a host (client or server)
+// attached to a router.
+type Endpoint struct {
+	Addr  netaddr.Addr
+	ASN   topology.ASN
+	Metro string
+	// Router is the attachment router (access router for clients, a
+	// core/border router for servers).
+	Router topology.RouterID
+	// AccessLine is the shared last-mile link for clients (nil for
+	// servers).
+	AccessLine *topology.Link
+}
+
+// Hop is one router visited by a path.
+type Hop struct {
+	Router *topology.Router
+	// InLink is the link over which the path entered this router (nil
+	// for the first router, which the source host attaches to).
+	InLink *topology.Link
+	// Ingress is the interface on InLink owned by this router (nil when
+	// InLink is nil).
+	Ingress *topology.Interface
+}
+
+// Path is a resolved router-level path.
+type Path struct {
+	Src, Dst Endpoint
+	Hops     []Hop
+	// Links are all capacity-bearing links traversed in order,
+	// including the endpoints' access lines when present.
+	Links []*topology.Link
+	// ASPath is the AS-level path from bgp.
+	ASPath []topology.ASN
+}
+
+// InterdomainLinks returns the interdomain links the path traverses, in
+// order.
+func (p *Path) InterdomainLinks() []*topology.Link {
+	var out []*topology.Link
+	for _, l := range p.Links {
+		if l.Kind == topology.LinkInterdomain {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Resolver resolves router-level paths. It precomputes link indices
+// from the topology; the topology must not be mutated afterwards.
+type Resolver struct {
+	topo   *topology.Topology
+	routes *bgp.Routes
+
+	// interLinks indexes interdomain links by ordered (fromAS, toAS).
+	interLinks map[[2]topology.ASN][]*topology.Link
+	// intraLinks indexes intra-AS links by unordered router pair.
+	intraLinks map[[2]topology.RouterID][]*topology.Link
+	// cores maps AS → metro → core router (with fallback described in
+	// coreAt).
+	cores map[topology.ASN]map[string]*topology.Router
+	// anyRouter is a deterministic fallback router per AS.
+	anyRouter map[topology.ASN]*topology.Router
+}
+
+// New builds a Resolver over the topology and its routes.
+func New(t *topology.Topology, r *bgp.Routes) *Resolver {
+	rv := &Resolver{
+		topo:       t,
+		routes:     r,
+		interLinks: make(map[[2]topology.ASN][]*topology.Link),
+		intraLinks: make(map[[2]topology.RouterID][]*topology.Link),
+		cores:      make(map[topology.ASN]map[string]*topology.Router),
+		anyRouter:  make(map[topology.ASN]*topology.Router),
+	}
+	for _, l := range t.Links() {
+		switch l.Kind {
+		case topology.LinkInterdomain:
+			a, b := l.ASA(), l.ASB()
+			rv.interLinks[[2]topology.ASN{a, b}] = append(rv.interLinks[[2]topology.ASN{a, b}], l)
+			rv.interLinks[[2]topology.ASN{b, a}] = append(rv.interLinks[[2]topology.ASN{b, a}], l)
+		case topology.LinkIntra:
+			k := routerPair(l.A.Router.ID, l.B.Router.ID)
+			rv.intraLinks[k] = append(rv.intraLinks[k], l)
+		}
+	}
+	for _, asn := range t.ASNs() {
+		as := t.AS(asn)
+		m := make(map[string]*topology.Router)
+		for _, rt := range as.Routers {
+			if rv.anyRouter[asn] == nil {
+				rv.anyRouter[asn] = rt
+			}
+			if rt.Kind == topology.RouterCore {
+				if _, ok := m[rt.Metro]; !ok {
+					m[rt.Metro] = rt
+				}
+			}
+		}
+		// Fallback: in metros without a core, use the first border
+		// router there (single-router stubs).
+		for _, rt := range as.Routers {
+			if _, ok := m[rt.Metro]; !ok {
+				m[rt.Metro] = rt
+			}
+		}
+		rv.cores[asn] = m
+	}
+	return rv
+}
+
+func routerPair(a, b topology.RouterID) [2]topology.RouterID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.RouterID{a, b}
+}
+
+// coreAt returns the AS's core router in the metro, or any router of
+// the AS when it has no presence there.
+func (rv *Resolver) coreAt(asn topology.ASN, metro string) (*topology.Router, error) {
+	if r, ok := rv.cores[asn][metro]; ok {
+		return r, nil
+	}
+	if r := rv.anyRouter[asn]; r != nil {
+		return r, nil
+	}
+	return nil, fmt.Errorf("routing: AS %d has no routers", asn)
+}
+
+// FlowKey derives the deterministic per-flow ECMP key from the flow's
+// addresses and an entropy value (ports / Paris flow identifier).
+// Distinct entropy values model distinct transport flows: an NDT test
+// and its companion Paris traceroute hash differently, so on balanced
+// parallel links they may take different members — one of the
+// association caveats of §4.
+func FlowKey(src, dst netaddr.Addr, entropy uint32) uint64 {
+	// FNV-1a over the 12 bytes.
+	h := uint64(14695981039346656037)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= 1099511628211
+		}
+	}
+	mix(uint32(src))
+	mix(uint32(dst))
+	mix(entropy)
+	return h
+}
+
+// Resolve computes the router-level path from src to dst for the given
+// flow key.
+func (rv *Resolver) Resolve(src, dst Endpoint, flowKey uint64) (*Path, error) {
+	asPath := rv.routes.Path(src.ASN, dst.ASN)
+	if asPath == nil {
+		return nil, fmt.Errorf("routing: no AS route %d -> %d", src.ASN, dst.ASN)
+	}
+	p := &Path{Src: src, Dst: dst, ASPath: asPath}
+
+	if src.AccessLine != nil {
+		p.Links = append(p.Links, src.AccessLine)
+	}
+
+	cur := rv.topo.Router(src.Router)
+	if cur == nil {
+		return nil, fmt.Errorf("routing: unknown source router %d", src.Router)
+	}
+	p.Hops = append(p.Hops, Hop{Router: cur})
+
+	for i := 1; i < len(asPath); i++ {
+		fromAS, toAS := asPath[i-1], asPath[i]
+		link, err := rv.pickInterLink(fromAS, toAS, cur.Metro, dst.Metro, flowKey)
+		if err != nil {
+			return nil, err
+		}
+		// Walk inside fromAS to the egress border router.
+		egress, ingress := link.A, link.B
+		if link.ASA() != fromAS {
+			egress, ingress = link.B, link.A
+		}
+		if err := rv.appendIntra(p, cur, egress.Router); err != nil {
+			return nil, err
+		}
+		// Cross the interdomain link.
+		p.Links = append(p.Links, link)
+		p.Hops = append(p.Hops, Hop{Router: ingress.Router, InLink: link, Ingress: ingress})
+		cur = ingress.Router
+	}
+
+	// Inside the destination AS, walk to the destination's attachment
+	// router.
+	dstRouter := rv.topo.Router(dst.Router)
+	if dstRouter == nil {
+		return nil, fmt.Errorf("routing: unknown destination router %d", dst.Router)
+	}
+	if err := rv.appendIntra(p, cur, dstRouter); err != nil {
+		return nil, err
+	}
+	if dst.AccessLine != nil {
+		p.Links = append(p.Links, dst.AccessLine)
+	}
+	return p, nil
+}
+
+// pickInterLink chooses the interdomain link used to go from fromAS to
+// toAS, given the current metro and the final destination metro.
+func (rv *Resolver) pickInterLink(fromAS, toAS topology.ASN, curMetro, dstMetro string, flowKey uint64) (*topology.Link, error) {
+	links := rv.interLinks[[2]topology.ASN{fromAS, toAS}]
+	if len(links) == 0 {
+		return nil, fmt.Errorf("routing: no interdomain link %d -> %d", fromAS, toAS)
+	}
+	cm := rv.topo.MustMetro(curMetro)
+	dm := rv.topo.MustMetro(dstMetro)
+	type scored struct {
+		l *topology.Link
+		c float64
+	}
+	cands := make([]scored, 0, len(links))
+	best := -1.0
+	for _, l := range links {
+		lm := rv.topo.MustMetro(l.Metro)
+		c := geo.PropagationDelayMs(cm, lm) + geo.PropagationDelayMs(lm, dm)
+		cands = append(cands, scored{l, c})
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	// Keep near-ties (parallel links in one metro always tie exactly).
+	const epsilonMs = 0.5
+	eq := cands[:0]
+	for _, s := range cands {
+		if s.c <= best+epsilonMs {
+			eq = append(eq, s)
+		}
+	}
+	sort.Slice(eq, func(i, j int) bool { return eq[i].l.ID < eq[j].l.ID })
+	return eq[int(flowKey%uint64(len(eq)))].l, nil
+}
+
+// appendIntra extends the path from router cur to router dst within one
+// AS, via the metro cores.
+func (rv *Resolver) appendIntra(p *Path, cur, dst *topology.Router) error {
+	if cur.AS != dst.AS {
+		return fmt.Errorf("routing: intra walk across ASes %d -> %d", cur.AS, dst.AS)
+	}
+	step := func(next *topology.Router) error {
+		if next.ID == p.Hops[len(p.Hops)-1].Router.ID {
+			return nil
+		}
+		ls := rv.intraLinks[routerPair(cur.ID, next.ID)]
+		if len(ls) == 0 {
+			return fmt.Errorf("routing: no intra link between routers %d and %d (AS %d)", cur.ID, next.ID, cur.AS)
+		}
+		l := ls[0]
+		ingress := l.A
+		if ingress.Router.ID != next.ID {
+			ingress = l.B
+		}
+		p.Links = append(p.Links, l)
+		p.Hops = append(p.Hops, Hop{Router: next, InLink: l, Ingress: ingress})
+		cur = next
+		return nil
+	}
+
+	if cur.ID == dst.ID {
+		return nil
+	}
+	// Direct link (border and access routers link to their local core;
+	// cores mesh between metros)?
+	if len(rv.intraLinks[routerPair(cur.ID, dst.ID)]) > 0 {
+		return step(dst)
+	}
+	// Otherwise go via cores: local core, then destination-metro core.
+	if cur.Kind != topology.RouterCore {
+		c, err := rv.coreAt(cur.AS, cur.Metro)
+		if err != nil {
+			return err
+		}
+		if c.ID != cur.ID {
+			if err := step(c); err != nil {
+				return err
+			}
+		}
+	}
+	if cur.Metro != dst.Metro {
+		c, err := rv.coreAt(cur.AS, dst.Metro)
+		if err != nil {
+			return err
+		}
+		if c.ID != cur.ID {
+			if err := step(c); err != nil {
+				return err
+			}
+		}
+	}
+	if cur.ID != dst.ID {
+		return step(dst)
+	}
+	return nil
+}
+
+// RTTms computes the base (uncongested) round-trip time of a path in
+// milliseconds: twice the sum of per-hop propagation delays plus a
+// small per-hop processing cost and the access line's serialization
+// slack.
+func (rv *Resolver) RTTms(p *Path) float64 {
+	oneWay := 0.0
+	for i := 1; i < len(p.Hops); i++ {
+		a := rv.topo.MustMetro(p.Hops[i-1].Router.Metro)
+		b := rv.topo.MustMetro(p.Hops[i].Router.Metro)
+		oneWay += geo.PropagationDelayMs(a, b) + 0.05
+	}
+	// Host attachment segments.
+	oneWay += 0.2
+	if p.Src.AccessLine != nil {
+		oneWay += 2.0 // DSL/cable access serialization and interleaving
+	}
+	if p.Dst.AccessLine != nil {
+		oneWay += 2.0
+	}
+	return 2 * oneWay
+}

@@ -1,0 +1,21 @@
+package signatures_test
+
+import (
+	"fmt"
+
+	"throughputlab/internal/signatures"
+)
+
+// Two slow tests, opposite causes: the first flow's RTT starts at
+// propagation level and triples (it built the queue itself); the
+// second starts high and stays flat with loss (someone else's queue).
+func ExampleClassify() {
+	selfLimited := signatures.Features{MinRTTms: 20, MeanRTTms: 65, LossRate: 1e-4}
+	external := signatures.Features{MinRTTms: 140, MeanRTTms: 143, LossRate: 0.02}
+	cfg := signatures.DefaultConfig()
+	fmt.Println(signatures.Classify(selfLimited, cfg))
+	fmt.Println(signatures.Classify(external, cfg))
+	// Output:
+	// self-induced
+	// external-congestion
+}

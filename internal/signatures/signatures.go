@@ -1,0 +1,167 @@
+// Package signatures implements TCP congestion signatures (Sundaresan,
+// Dhamdhere, Allman, claffy — IMC 2017, reference [37] of the
+// reproduced paper and its stated future work in §7): distinguishing,
+// from a single speed test's RTT dynamics, whether the flow was limited
+// by an *already congested* link somewhere in the path or whether the
+// flow itself drove the queue at an otherwise-unconstrained (typically
+// access) bottleneck.
+//
+// The discriminator: a flow that fills its own bottleneck starts with a
+// near-propagation RTT and inflates it as its congestion window builds
+// a standing queue; a flow arriving at a saturated link sees a full
+// buffer — high RTT — from the very first packets. NDT logs both the
+// minimum and the mean flow RTT, so the relative self-inflation
+// (mean − min)/min is computable from existing test records. The paper
+// argues this is exactly the extra signal speed tests should report
+// (§6.2: "is there a more direct way to identify whether a flow was
+// congested by an already busy link or whether the flow itself drove
+// congestion?").
+package signatures
+
+import (
+	"fmt"
+
+	"throughputlab/internal/ndt"
+)
+
+// Verdict classifies a flow's bottleneck state.
+type Verdict int
+
+const (
+	// Indeterminate: insufficient RTT signal to call either way.
+	Indeterminate Verdict = iota
+	// SelfInduced: the flow filled its own (access) bottleneck.
+	SelfInduced
+	// ExternalCongestion: the flow arrived at an already-busy link.
+	ExternalCongestion
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case SelfInduced:
+		return "self-induced"
+	case ExternalCongestion:
+		return "external-congestion"
+	case Indeterminate:
+		return "indeterminate"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Features are the per-test inputs to the classifier.
+type Features struct {
+	// MinRTTms approximates the path RTT before self-queueing.
+	MinRTTms float64
+	// MeanRTTms is the loaded flow RTT.
+	MeanRTTms float64
+	// LossRate is the flow's retransmission rate.
+	LossRate float64
+}
+
+// Extract pulls features from an NDT record.
+func Extract(t *ndt.Test) Features {
+	return Features{MinRTTms: t.RTTMinMs, MeanRTTms: t.RTTms, LossRate: t.RetransRate}
+}
+
+// SelfInflation returns (mean − min)/min, the relative RTT growth the
+// flow caused (0 when min is unusable).
+func (f Features) SelfInflation() float64 {
+	if f.MinRTTms <= 0 {
+		return 0
+	}
+	return (f.MeanRTTms - f.MinRTTms) / f.MinRTTms
+}
+
+// Config holds classifier thresholds.
+type Config struct {
+	// MinInflation: relative RTT growth at or above which the flow is
+	// called self-induced (it built that queue itself).
+	MinInflation float64
+	// MaxFlatInflation: growth at or below which, combined with
+	// elevated loss, the flow is called externally congested (the
+	// queue was someone else's).
+	MaxFlatInflation float64
+	// MinLoss is the loss floor for an external-congestion call; a flat
+	// RTT with no loss just means an unloaded fast path.
+	MinLoss float64
+}
+
+// DefaultConfig returns thresholds that separate the simulator's two
+// regimes cleanly; the original paper trains a decision tree on the
+// same two features.
+func DefaultConfig() Config {
+	return Config{MinInflation: 0.25, MaxFlatInflation: 0.10, MinLoss: 5e-4}
+}
+
+// Classify applies the two-feature rule.
+func Classify(f Features, cfg Config) Verdict {
+	if cfg.MinInflation == 0 {
+		cfg = DefaultConfig()
+	}
+	infl := f.SelfInflation()
+	switch {
+	case infl >= cfg.MinInflation:
+		return SelfInduced
+	case infl <= cfg.MaxFlatInflation && f.LossRate >= cfg.MinLoss:
+		return ExternalCongestion
+	default:
+		return Indeterminate
+	}
+}
+
+// Truth derives the ground-truth label from a simulated test (real
+// deployments have no such field — that absence is the paper's point).
+func Truth(t *ndt.Test) Verdict {
+	if t.TruthSaturated {
+		return ExternalCongestion
+	}
+	return SelfInduced
+}
+
+// Confusion is the evaluation of the classifier against ground truth.
+type Confusion struct {
+	// [truth][verdict] counts; indices are the Verdict values.
+	Counts [3][3]int
+	Total  int
+}
+
+// Evaluate classifies every test and scores it against simulator truth.
+func Evaluate(tests []*ndt.Test, cfg Config) Confusion {
+	var c Confusion
+	for _, t := range tests {
+		truth := Truth(t)
+		got := Classify(Extract(t), cfg)
+		c.Counts[truth][got]++
+		c.Total++
+	}
+	return c
+}
+
+// Accuracy is the fraction of determinate verdicts that match truth.
+func (c Confusion) Accuracy() float64 {
+	correct, determinate := 0, 0
+	for truth := 1; truth <= 2; truth++ {
+		for got := 1; got <= 2; got++ {
+			determinate += c.Counts[truth][got]
+			if truth == got {
+				correct += c.Counts[truth][got]
+			}
+		}
+	}
+	if determinate == 0 {
+		return 0
+	}
+	return float64(correct) / float64(determinate)
+}
+
+// DeterminateFrac is the fraction of tests that got a verdict at all.
+func (c Confusion) DeterminateFrac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	ind := c.Counts[SelfInduced][Indeterminate] +
+		c.Counts[ExternalCongestion][Indeterminate] +
+		c.Counts[Indeterminate][Indeterminate]
+	return 1 - float64(ind)/float64(c.Total)
+}

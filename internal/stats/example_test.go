@@ -1,0 +1,23 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"throughputlab/internal/stats"
+)
+
+// Hour-of-day binning, the aggregation behind every diurnal analysis
+// in the paper.
+func ExampleHourBins() {
+	var b stats.HourBins
+	for i := 0; i < 10; i++ {
+		b.Add(21.5, 1.0)  // peak-hour tests: collapsed throughput
+		b.Add(10.2, 48.0) // off-peak tests: near plan rate
+	}
+	med := b.Medians()
+	fmt.Printf("21h median %.1f Mbps over %d samples\n", med[21], b.Counts()[21])
+	fmt.Printf("10h median %.1f Mbps over %d samples\n", med[10], b.Counts()[10])
+	// Output:
+	// 21h median 1.0 Mbps over 10 samples
+	// 10h median 48.0 Mbps over 10 samples
+}

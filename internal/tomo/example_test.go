@@ -1,0 +1,38 @@
+package tomo_test
+
+import (
+	"fmt"
+
+	"throughputlab/internal/tomo"
+)
+
+// Localizing a congested link from end-to-end verdicts plus path data:
+// the good path through "shared" exonerates it, so the blame lands on
+// the only remaining explanation.
+func ExampleSmallestFailureSet() {
+	obs := []tomo.Observation[string]{
+		{Links: []string{"shared", "to-a"}, Bad: true},
+		{Links: []string{"shared", "to-b"}, Bad: false},
+		{Links: []string{"shared", "to-a", "a-leaf"}, Bad: true},
+	}
+	res := tomo.SmallestFailureSet(obs)
+	fmt.Println(res.Bad, res.Consistent)
+	// Output: [to-a] true
+}
+
+// Without path data, the M-Lab-style method can only flag endpoint
+// pairs — even when the congested link is beyond the pair's adjacency.
+func ExampleSimplifiedASLevel() {
+	obs := []tomo.ASObservation{
+		{ServerOrg: "GTT", ClientOrg: "AT&T", Bad: true},
+		{ServerOrg: "GTT", ClientOrg: "AT&T", Bad: true},
+		{ServerOrg: "GTT", ClientOrg: "Comcast", Bad: false},
+		{ServerOrg: "GTT", ClientOrg: "Comcast", Bad: false},
+	}
+	for _, v := range tomo.SimplifiedASLevel(obs, 0.5, 2) {
+		fmt.Printf("%s-%s congested=%v\n", v.ServerOrg, v.ClientOrg, v.Congested)
+	}
+	// Output:
+	// GTT-AT&T congested=true
+	// GTT-Comcast congested=false
+}

@@ -1,0 +1,217 @@
+// Package tomo implements binary network tomography (§3): given
+// end-to-end observations, each a set of links with a good/bad verdict,
+// find a smallest set of "bad" links consistent with the observations
+// (Duffield's boolean tomography, via the standard greedy set-cover
+// approximation known as SCFS).
+//
+// It also implements the *simplified AS-level tomography* the M-Lab
+// reports used: collapse every path to the single (server org, client
+// org) pair and declare the interconnection congested when enough tests
+// look bad. That method is only sound under the three assumptions of
+// §3.1; the experiments use this package to show what happens when they
+// fail.
+package tomo
+
+import (
+	"sort"
+)
+
+// Observation is one end-to-end measurement: the links its path
+// traversed and whether the path looked congested.
+type Observation[L comparable] struct {
+	Links []L
+	Bad   bool
+}
+
+// Result is the outcome of SmallestFailureSet.
+type Result[L comparable] struct {
+	// Bad is the inferred bad-link set, in selection order.
+	Bad []L
+	// Consistent is false when some bad observation contains only links
+	// exonerated by good observations (noise, or a non-link cause such
+	// as a home-network problem — §3.1's assumption 1 analogue).
+	Consistent bool
+	// Uncovered counts bad observations that could not be explained.
+	Uncovered int
+}
+
+// SmallestFailureSet runs greedy boolean tomography. Links appearing on
+// any good path are exonerated; remaining candidates are chosen
+// greedily by bad-path coverage (ties broken deterministically by
+// first appearance order).
+func SmallestFailureSet[L comparable](obs []Observation[L]) Result[L] {
+	good := map[L]bool{}
+	for _, o := range obs {
+		if !o.Bad {
+			for _, l := range o.Links {
+				good[l] = true
+			}
+		}
+	}
+
+	// Candidate links per bad observation.
+	type badObs struct {
+		cands   []L
+		covered bool
+	}
+	var bad []*badObs
+	coverage := map[L][]*badObs{}
+	order := map[L]int{} // first-appearance order for deterministic ties
+	for _, o := range obs {
+		if !o.Bad {
+			continue
+		}
+		b := &badObs{}
+		for _, l := range o.Links {
+			if good[l] {
+				continue
+			}
+			b.cands = append(b.cands, l)
+			coverage[l] = append(coverage[l], b)
+			if _, ok := order[l]; !ok {
+				order[l] = len(order)
+			}
+		}
+		bad = append(bad, b)
+	}
+
+	res := Result[L]{Consistent: true}
+	remaining := 0
+	for _, b := range bad {
+		if len(b.cands) == 0 {
+			res.Consistent = false
+			res.Uncovered++
+			b.covered = true // nothing can cover it
+			continue
+		}
+		remaining++
+	}
+
+	for remaining > 0 {
+		// Pick the candidate covering the most uncovered bad paths.
+		var best L
+		bestN, bestOrder, found := 0, 0, false
+		for l, obsList := range coverage {
+			n := 0
+			for _, b := range obsList {
+				if !b.covered {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if !found || n > bestN || (n == bestN && order[l] < bestOrder) {
+				best, bestN, bestOrder, found = l, n, order[l], true
+			}
+		}
+		if !found {
+			break
+		}
+		res.Bad = append(res.Bad, best)
+		for _, b := range coverage[best] {
+			if !b.covered {
+				b.covered = true
+				remaining--
+			}
+		}
+	}
+	return res
+}
+
+// ASObservation is one test collapsed to the AS level, as in the M-Lab
+// analysis: only the endpoint organizations are known.
+type ASObservation struct {
+	ServerOrg, ClientOrg string
+	Bad                  bool
+}
+
+// PairVerdict summarizes the simplified AS-level tomography for one
+// (server org, client org) pair.
+type PairVerdict struct {
+	ServerOrg, ClientOrg string
+	Tests, BadTests      int
+	// Congested is true when the bad fraction reaches the threshold.
+	Congested bool
+}
+
+// SimplifiedASLevel applies the M-Lab method: group tests by endpoint
+// org pair and flag the pair's interconnection as congested when the
+// fraction of bad tests reaches badFrac. Under assumptions 1–3 of §3.1
+// this localizes congestion to the direct interconnection; when those
+// fail, the verdict mislocalizes — which is the paper's point.
+// Results are sorted by (server, client) org.
+func SimplifiedASLevel(obs []ASObservation, badFrac float64, minTests int) []PairVerdict {
+	type key struct{ s, c string }
+	agg := map[key]*PairVerdict{}
+	for _, o := range obs {
+		k := key{o.ServerOrg, o.ClientOrg}
+		v := agg[k]
+		if v == nil {
+			v = &PairVerdict{ServerOrg: o.ServerOrg, ClientOrg: o.ClientOrg}
+			agg[k] = v
+		}
+		v.Tests++
+		if o.Bad {
+			v.BadTests++
+		}
+	}
+	out := make([]PairVerdict, 0, len(agg))
+	for _, v := range agg {
+		if v.Tests >= minTests && float64(v.BadTests)/float64(v.Tests) >= badFrac {
+			v.Congested = true
+		}
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ServerOrg != out[j].ServerOrg {
+			return out[i].ServerOrg < out[j].ServerOrg
+		}
+		return out[i].ClientOrg < out[j].ClientOrg
+	})
+	return out
+}
+
+// AggregatePaths collapses noisy per-test observations into per-path
+// verdicts before tomography: observations with an identical link set
+// are grouped, and the group is bad when at least badFrac of its (at
+// least minTests) members are bad. Groups below minTests are dropped.
+// This is the aggregation step real pipelines run (peak vs off-peak
+// medians per path) so that one lucky test on a congested path — or
+// one Wi-Fi-throttled test on a healthy one — does not exonerate or
+// frame a link.
+func AggregatePaths[L comparable](obs []Observation[L], badFrac float64, minTests int,
+	keyOf func([]L) string) []Observation[L] {
+
+	type group struct {
+		links      []L
+		bad, total int
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	for _, o := range obs {
+		k := keyOf(o.Links)
+		g := groups[k]
+		if g == nil {
+			g = &group{links: o.Links}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.total++
+		if o.Bad {
+			g.bad++
+		}
+	}
+	var out []Observation[L]
+	for _, k := range order {
+		g := groups[k]
+		if g.total < minTests {
+			continue
+		}
+		out = append(out, Observation[L]{
+			Links: g.links,
+			Bad:   float64(g.bad)/float64(g.total) >= badFrac,
+		})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package topology
+
+import (
+	"fmt"
+
+	"throughputlab/internal/netaddr"
+)
+
+// Allocator hands out non-overlapping prefixes from a pool, naturally
+// aligned. The topology generator uses one global allocator so no two
+// ASes ever share address space (except deliberately-shared IXP LANs,
+// which are allocated once and referenced by all members).
+type Allocator struct {
+	pool netaddr.Prefix
+	// next is the offset (in addresses) of the first unallocated
+	// address within pool.
+	next uint64
+}
+
+// NewAllocator returns an allocator over the given pool.
+func NewAllocator(pool netaddr.Prefix) *Allocator {
+	return &Allocator{pool: pool}
+}
+
+// Alloc returns the next free prefix of the given length, aligned to
+// its natural boundary. It returns an error when the pool is exhausted.
+func (a *Allocator) Alloc(bits int) (netaddr.Prefix, error) {
+	if bits < a.pool.Bits() || bits > 32 {
+		return netaddr.Prefix{}, fmt.Errorf("topology: cannot allocate /%d from %v", bits, a.pool)
+	}
+	size := uint64(1) << (32 - bits)
+	// Round next up to alignment.
+	start := (a.next + size - 1) / size * size
+	if start+size > a.pool.NumAddrs() {
+		return netaddr.Prefix{}, fmt.Errorf("topology: pool %v exhausted allocating /%d", a.pool, bits)
+	}
+	a.next = start + size
+	return netaddr.PrefixFrom(a.pool.Nth(start), bits), nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion; the generator sizes its
+// pool so exhaustion is a bug, not an input condition.
+func (a *Allocator) MustAlloc(bits int) netaddr.Prefix {
+	p, err := a.Alloc(bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Used returns the number of addresses consumed so far (including
+// alignment padding).
+func (a *Allocator) Used() uint64 { return a.next }

@@ -1,0 +1,55 @@
+package topology
+
+import "fmt"
+
+// Stats summarizes a topology's population, used by tools' banners and
+// by tests asserting generator scale.
+type Stats struct {
+	ASes     int
+	ByType   map[ASType]int
+	Orgs     int
+	Routers  int
+	ByKind   map[RouterKind]int
+	Links    int
+	ByLink   map[LinkKind]int
+	Prefixes int
+	IXPs     int
+	// SaturatedLinks counts links whose offered peak load meets or
+	// exceeds capacity.
+	SaturatedLinks int
+}
+
+// CollectStats walks the topology once.
+func (t *Topology) CollectStats() Stats {
+	s := Stats{
+		ByType: map[ASType]int{},
+		ByKind: map[RouterKind]int{},
+		ByLink: map[LinkKind]int{},
+		Orgs:   len(t.Orgs),
+		IXPs:   len(t.IXPs),
+	}
+	for _, asn := range t.ASNs() {
+		s.ASes++
+		s.ByType[t.AS(asn).Type]++
+	}
+	for _, r := range t.routers {
+		s.Routers++
+		s.ByKind[r.Kind]++
+	}
+	for _, l := range t.links {
+		s.Links++
+		s.ByLink[l.Kind]++
+		if l.PeakUtil >= 1 {
+			s.SaturatedLinks++
+		}
+	}
+	s.Prefixes = t.Origin.Len()
+	return s
+}
+
+// String renders a one-line banner.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d ASes (%d access, %d transit, %d content, %d stub) in %d orgs; %d routers; %d links (%d interdomain, %d saturated); %d prefixes; %d IXPs",
+		s.ASes, s.ByType[ASTypeAccess], s.ByType[ASTypeTransit], s.ByType[ASTypeContent], s.ByType[ASTypeStub],
+		s.Orgs, s.Routers, s.Links, s.ByLink[LinkInterdomain], s.SaturatedLinks, s.Prefixes, s.IXPs)
+}

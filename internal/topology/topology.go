@@ -1,0 +1,479 @@
+// Package topology defines the synthetic Internet's ground-truth data
+// model: organizations, autonomous systems, routers, interfaces,
+// interdomain and intradomain links, IXPs, and the prefix plan.
+//
+// Everything downstream — BGP route computation, router-level
+// forwarding, traceroute simulation, and the MAP-IT / bdrmap inference
+// algorithms — operates over this model. The inference packages must
+// NOT touch ground-truth fields that a real measurer cannot observe
+// (e.g. Interface.Router); they receive only traceroute hops and the
+// public datasets (prefix→AS, AS relationships, AS→org, IXP prefixes).
+// Tests, however, score inferences against the ground truth kept here.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"throughputlab/internal/geo"
+	"throughputlab/internal/netaddr"
+)
+
+// ASN is an autonomous system number.
+type ASN int
+
+// ASType classifies an AS by its role in the synthetic topology.
+type ASType int
+
+const (
+	// ASTypeStub is an edge network (enterprise, small hosting) with
+	// providers and no customers.
+	ASTypeStub ASType = iota
+	// ASTypeAccess is a residential broadband access provider; clients
+	// live here. Large access providers may also sell transit.
+	ASTypeAccess
+	// ASTypeTransit is a transit provider (Level3-like). M-Lab servers
+	// are hosted in transit networks.
+	ASTypeTransit
+	// ASTypeContent is a content/CDN network (popular web content).
+	ASTypeContent
+	// ASTypeIXP is the route-server/peering-LAN organization of an IXP.
+	// IXP ASes own peering-LAN prefixes but originate no user traffic.
+	ASTypeIXP
+)
+
+// String implements fmt.Stringer.
+func (t ASType) String() string {
+	switch t {
+	case ASTypeStub:
+		return "stub"
+	case ASTypeAccess:
+		return "access"
+	case ASTypeTransit:
+		return "transit"
+	case ASTypeContent:
+		return "content"
+	case ASTypeIXP:
+		return "ixp"
+	}
+	return fmt.Sprintf("ASType(%d)", int(t))
+}
+
+// Rel is a business relationship between two adjacent ASes, expressed
+// from the perspective of the first AS of the pair.
+type Rel int
+
+const (
+	// RelNone means the two ASes are not adjacent.
+	RelNone Rel = iota
+	// RelCustomer: the other AS is my customer (I am its provider).
+	RelCustomer
+	// RelProvider: the other AS is my provider (I am its customer).
+	RelProvider
+	// RelPeer: settlement-free or paid peering.
+	RelPeer
+	// RelSibling: same organization.
+	RelSibling
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case RelNone:
+		return "none"
+	case RelCustomer:
+		return "customer"
+	case RelProvider:
+		return "provider"
+	case RelPeer:
+		return "peer"
+	case RelSibling:
+		return "sibling"
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Invert returns the relationship from the other side's perspective.
+func (r Rel) Invert() Rel {
+	switch r {
+	case RelCustomer:
+		return RelProvider
+	case RelProvider:
+		return RelCustomer
+	default:
+		return r
+	}
+}
+
+// Org is an organization owning one or more ASes (CAIDA AS→org style).
+type Org struct {
+	Name string
+	ASNs []ASN
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN  ASN
+	Name string
+	Org  *Org
+	Type ASType
+
+	// Metros lists the metro codes where this AS has presence (a core
+	// router and, for access ISPs, client populations).
+	Metros []string
+
+	// Originated lists the prefixes this AS announces into BGP,
+	// including client pools and infrastructure space.
+	Originated []netaddr.Prefix
+
+	// Routers owned by this AS, by ID.
+	Routers []*Router
+
+	// ClientPools maps metro code → prefix from which client addresses
+	// in that metro are drawn (access ISPs only).
+	ClientPools map[string]netaddr.Prefix
+}
+
+// RouterKind distinguishes router roles within an AS.
+type RouterKind int
+
+const (
+	// RouterCore carries intra-AS traffic within one metro.
+	RouterCore RouterKind = iota
+	// RouterBorder terminates interdomain links.
+	RouterBorder
+	// RouterAccess aggregates client last-mile links (access ISPs).
+	RouterAccess
+)
+
+// String implements fmt.Stringer.
+func (k RouterKind) String() string {
+	switch k {
+	case RouterCore:
+		return "core"
+	case RouterBorder:
+		return "border"
+	case RouterAccess:
+		return "access"
+	}
+	return fmt.Sprintf("RouterKind(%d)", int(k))
+}
+
+// RouterID identifies a router uniquely across the topology.
+type RouterID int
+
+// Router is a ground-truth router. Interfaces are added as links are
+// created.
+type Router struct {
+	ID    RouterID
+	AS    ASN
+	Metro string
+	Kind  RouterKind
+	// Name is the DNS-style hostname stem, e.g. "edge5.Dallas3".
+	Name string
+	// Ifaces lists all interfaces on this router.
+	Ifaces []*Interface
+}
+
+// Interface is one addressed router interface.
+type Interface struct {
+	Addr   netaddr.Addr
+	Router *Router
+	Link   *Link
+	// AddrOwner is the ASN out of whose address space this interface is
+	// numbered. For point-to-point interdomain links this is often NOT
+	// the AS operating the router (§4.2 of the paper) — exactly the
+	// ambiguity MAP-IT exists to resolve.
+	AddrOwner ASN
+	// DNSName is the reverse-DNS name; may be empty (no PTR record).
+	DNSName string
+}
+
+// LinkKind distinguishes link roles.
+type LinkKind int
+
+const (
+	// LinkIntra connects two routers of the same AS.
+	LinkIntra LinkKind = iota
+	// LinkInterdomain connects border routers of two different ASes.
+	LinkInterdomain
+	// LinkAccessLine is the virtual last-mile link between an access
+	// router and a client pool; capacity is per-subscriber tier.
+	LinkAccessLine
+)
+
+// LinkID identifies a link uniquely across the topology.
+type LinkID int
+
+// Link is a ground-truth link between two router interfaces. For
+// LinkAccessLine, B is nil and the link fans out to a client pool.
+type Link struct {
+	ID   LinkID
+	Kind LinkKind
+	A, B *Interface
+	// Metro is where the link physically lives (both ends for
+	// interdomain links; interdomain congestion is regional, §4.3).
+	Metro string
+	// CapacityMbps is the provisioned capacity.
+	CapacityMbps float64
+	// BaseUtil is the average background utilization (0..1) at the
+	// diurnal trough.
+	BaseUtil float64
+	// PeakUtil is the background utilization at the diurnal peak; a
+	// value ≥ 1 means the link saturates at peak hours (congested).
+	PeakUtil float64
+	// IXP is non-nil when this interdomain link crosses an IXP peering
+	// LAN (interfaces numbered from the IXP prefix).
+	IXP *IXP
+}
+
+// ASA returns the ASN operating end A's router.
+func (l *Link) ASA() ASN { return l.A.Router.AS }
+
+// ASB returns the ASN operating end B's router (0 for access lines).
+func (l *Link) ASB() ASN {
+	if l.B == nil {
+		return 0
+	}
+	return l.B.Router.AS
+}
+
+// IXP is an Internet exchange point with a peering-LAN prefix.
+type IXP struct {
+	Name   string
+	Metro  string
+	Prefix netaddr.Prefix
+}
+
+// Topology is the ground-truth container.
+type Topology struct {
+	Metros    []geo.Metro
+	metroByID map[string]geo.Metro
+
+	Orgs []*Org
+
+	ases  map[ASN]*AS
+	order []ASN // deterministic iteration order (insertion)
+
+	rel map[[2]ASN]Rel
+
+	routers map[RouterID]*Router
+	nextRtr RouterID
+
+	links    []*Link
+	nextLink LinkID
+
+	IXPs []*IXP
+
+	// Origin maps prefixes to the originating ASN (the public
+	// prefix→AS dataset). Includes client pools and infrastructure.
+	Origin *netaddr.Table[ASN]
+	// IfaceByAddr resolves an interface address to the interface
+	// (ground truth only; not visible to inference).
+	IfaceByAddr map[netaddr.Addr]*Interface
+	// IXPPrefixes is the public list of IXP peering-LAN prefixes.
+	IXPPrefixes []netaddr.Prefix
+}
+
+// New returns an empty topology over the given metros.
+func New(metros []geo.Metro) *Topology {
+	t := &Topology{
+		Metros:      metros,
+		metroByID:   make(map[string]geo.Metro, len(metros)),
+		ases:        make(map[ASN]*AS),
+		rel:         make(map[[2]ASN]Rel),
+		routers:     make(map[RouterID]*Router),
+		Origin:      netaddr.NewTable[ASN](),
+		IfaceByAddr: make(map[netaddr.Addr]*Interface),
+	}
+	for _, m := range metros {
+		t.metroByID[m.Code] = m
+	}
+	return t
+}
+
+// Metro returns the metro with the given code.
+func (t *Topology) Metro(code string) (geo.Metro, bool) {
+	m, ok := t.metroByID[code]
+	return m, ok
+}
+
+// MustMetro is Metro that panics when the code is unknown.
+func (t *Topology) MustMetro(code string) geo.Metro {
+	m, ok := t.metroByID[code]
+	if !ok {
+		panic(fmt.Sprintf("topology: unknown metro %q", code))
+	}
+	return m
+}
+
+// AddAS registers a new AS. It panics on duplicate ASNs (generator bug).
+func (t *Topology) AddAS(a *AS) {
+	if _, dup := t.ases[a.ASN]; dup {
+		panic(fmt.Sprintf("topology: duplicate ASN %d", a.ASN))
+	}
+	if a.ClientPools == nil {
+		a.ClientPools = make(map[string]netaddr.Prefix)
+	}
+	t.ases[a.ASN] = a
+	t.order = append(t.order, a.ASN)
+}
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(asn ASN) *AS { return t.ases[asn] }
+
+// ASNs returns all ASNs in deterministic (insertion) order.
+func (t *Topology) ASNs() []ASN { return t.order }
+
+// NumASes returns the number of ASes.
+func (t *Topology) NumASes() int { return len(t.ases) }
+
+// SetRel records the relationship between a and b, from a's
+// perspective, and the inverse for b.
+func (t *Topology) SetRel(a, b ASN, r Rel) {
+	t.rel[[2]ASN{a, b}] = r
+	t.rel[[2]ASN{b, a}] = r.Invert()
+}
+
+// RelOf returns the relationship of b as seen from a.
+func (t *Topology) RelOf(a, b ASN) Rel { return t.rel[[2]ASN{a, b}] }
+
+// Neighbors returns the ASes adjacent to a, sorted by ASN.
+func (t *Topology) Neighbors(a ASN) []ASN {
+	var out []ASN
+	for k, r := range t.rel {
+		if k[0] == a && r != RelNone {
+			out = append(out, k[1])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SameOrg reports whether two ASes belong to the same organization.
+func (t *Topology) SameOrg(a, b ASN) bool {
+	asA, asB := t.ases[a], t.ases[b]
+	return asA != nil && asB != nil && asA.Org != nil && asA.Org == asB.Org
+}
+
+// AddRouter creates a router for the AS in the metro.
+func (t *Topology) AddRouter(asn ASN, metro string, kind RouterKind, name string) *Router {
+	a := t.ases[asn]
+	if a == nil {
+		panic(fmt.Sprintf("topology: AddRouter for unknown AS %d", asn))
+	}
+	if _, ok := t.metroByID[metro]; !ok {
+		panic(fmt.Sprintf("topology: AddRouter in unknown metro %q", metro))
+	}
+	r := &Router{ID: t.nextRtr, AS: asn, Metro: metro, Kind: kind, Name: name}
+	t.nextRtr++
+	t.routers[r.ID] = r
+	a.Routers = append(a.Routers, r)
+	return r
+}
+
+// Router returns the router with the given ID, or nil.
+func (t *Topology) Router(id RouterID) *Router { return t.routers[id] }
+
+// NumRouters returns the number of routers.
+func (t *Topology) NumRouters() int { return len(t.routers) }
+
+// LinkSpec carries the parameters for AddLink.
+type LinkSpec struct {
+	Kind         LinkKind
+	Metro        string
+	CapacityMbps float64
+	BaseUtil     float64
+	PeakUtil     float64
+	// AddrA and AddrB are the interface addresses; AddrOwnerA/B record
+	// whose space they come from.
+	AddrA, AddrB           netaddr.Addr
+	AddrOwnerA, AddrOwnerB ASN
+	IXP                    *IXP
+}
+
+// AddLink wires a link between routers ra and rb with the given spec,
+// registering both interfaces. For access lines rb may be nil and AddrB
+// zero.
+func (t *Topology) AddLink(ra, rb *Router, spec LinkSpec) *Link {
+	l := &Link{
+		ID:           t.nextLink,
+		Kind:         spec.Kind,
+		Metro:        spec.Metro,
+		CapacityMbps: spec.CapacityMbps,
+		BaseUtil:     spec.BaseUtil,
+		PeakUtil:     spec.PeakUtil,
+		IXP:          spec.IXP,
+	}
+	t.nextLink++
+	ifA := &Interface{Addr: spec.AddrA, Router: ra, Link: l, AddrOwner: spec.AddrOwnerA}
+	l.A = ifA
+	ra.Ifaces = append(ra.Ifaces, ifA)
+	if !spec.AddrA.IsZero() {
+		if prev, dup := t.IfaceByAddr[spec.AddrA]; dup {
+			panic(fmt.Sprintf("topology: interface address %v already on router %d", spec.AddrA, prev.Router.ID))
+		}
+		t.IfaceByAddr[spec.AddrA] = ifA
+	}
+	if rb != nil {
+		ifB := &Interface{Addr: spec.AddrB, Router: rb, Link: l, AddrOwner: spec.AddrOwnerB}
+		l.B = ifB
+		rb.Ifaces = append(rb.Ifaces, ifB)
+		if !spec.AddrB.IsZero() {
+			if prev, dup := t.IfaceByAddr[spec.AddrB]; dup {
+				panic(fmt.Sprintf("topology: interface address %v already on router %d", spec.AddrB, prev.Router.ID))
+			}
+			t.IfaceByAddr[spec.AddrB] = ifB
+		}
+	}
+	t.links = append(t.links, l)
+	return l
+}
+
+// Links returns all links (ground truth).
+func (t *Topology) Links() []*Link { return t.links }
+
+// InterdomainLinks returns all interdomain links, optionally filtered
+// to those between the given AS pair (order-insensitive); pass 0,0 for
+// all.
+func (t *Topology) InterdomainLinks(a, b ASN) []*Link {
+	var out []*Link
+	for _, l := range t.links {
+		if l.Kind != LinkInterdomain {
+			continue
+		}
+		if a == 0 && b == 0 {
+			out = append(out, l)
+			continue
+		}
+		la, lb := l.ASA(), l.ASB()
+		if (la == a && lb == b) || (la == b && lb == a) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Originate records that asn announces p, updating the public origin
+// table.
+func (t *Topology) Originate(asn ASN, p netaddr.Prefix) {
+	a := t.ases[asn]
+	if a == nil {
+		panic(fmt.Sprintf("topology: Originate for unknown AS %d", asn))
+	}
+	a.Originated = append(a.Originated, p)
+	t.Origin.Insert(p, asn)
+}
+
+// AddIXP registers an IXP and publishes its prefix in the public list.
+func (t *Topology) AddIXP(x *IXP) {
+	t.IXPs = append(t.IXPs, x)
+	t.IXPPrefixes = append(t.IXPPrefixes, x.Prefix)
+}
+
+// OriginOf returns the origin ASN of the longest matching announced
+// prefix covering addr (the public prefix→AS view).
+func (t *Topology) OriginOf(addr netaddr.Addr) (ASN, bool) {
+	asn, _, ok := t.Origin.Lookup(addr)
+	return asn, ok
+}

@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// Validate checks structural invariants of the topology and returns all
+// violations found. The topology generator's tests require an empty
+// result; it is also a useful debugging aid for hand-built topologies.
+//
+// Invariants checked:
+//   - every relationship references known ASes and is symmetric
+//     (RelOf(a,b) == RelOf(b,a).Invert());
+//   - sibling relationships connect ASes of the same organization;
+//   - every router belongs to a known AS and a known metro;
+//   - interdomain links connect border routers of different ASes, and
+//     both interface addresses are owned by one of the two ASes or an
+//     IXP;
+//   - intra-AS links connect routers of the same AS;
+//   - every non-zero interface address is unique and resolvable via
+//     IfaceByAddr;
+//   - every client pool prefix is originated by its AS;
+//   - the link's metro matches both routers' metros for interdomain
+//     links (interdomain interconnection is physically local, §4.3).
+func (t *Topology) Validate() []error {
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	for k, r := range t.rel {
+		a, b := k[0], k[1]
+		if t.ases[a] == nil || t.ases[b] == nil {
+			add("relationship %v-%v references unknown AS", a, b)
+			continue
+		}
+		if inv := t.rel[[2]ASN{b, a}]; inv != r.Invert() {
+			add("asymmetric relationship %v-%v: %v vs %v", a, b, r, inv)
+		}
+		if r == RelSibling && !t.SameOrg(a, b) {
+			add("sibling relationship %v-%v across organizations", a, b)
+		}
+	}
+
+	for id, r := range t.routers {
+		if r.ID != id {
+			add("router map key %d != ID %d", id, r.ID)
+		}
+		if t.ases[r.AS] == nil {
+			add("router %d in unknown AS %d", r.ID, r.AS)
+		}
+		if _, ok := t.metroByID[r.Metro]; !ok {
+			add("router %d in unknown metro %q", r.ID, r.Metro)
+		}
+	}
+
+	for _, l := range t.links {
+		switch l.Kind {
+		case LinkInterdomain:
+			if l.B == nil {
+				add("interdomain link %d missing B end", l.ID)
+				continue
+			}
+			if l.ASA() == l.ASB() {
+				add("interdomain link %d connects %d to itself", l.ID, l.ASA())
+			}
+			if l.A.Router.Kind != RouterBorder || l.B.Router.Kind != RouterBorder {
+				add("interdomain link %d has non-border endpoint", l.ID)
+			}
+			if l.A.Router.Metro != l.Metro || l.B.Router.Metro != l.Metro {
+				add("interdomain link %d metro %q does not match routers (%q, %q)",
+					l.ID, l.Metro, l.A.Router.Metro, l.B.Router.Metro)
+			}
+			for _, ifc := range []*Interface{l.A, l.B} {
+				ok := ifc.AddrOwner == l.ASA() || ifc.AddrOwner == l.ASB()
+				if l.IXP != nil && l.IXP.Prefix.Contains(ifc.Addr) {
+					ok = true
+				}
+				if !ok {
+					add("interdomain link %d interface %v numbered from uninvolved AS %d",
+						l.ID, ifc.Addr, ifc.AddrOwner)
+				}
+			}
+		case LinkIntra:
+			if l.B == nil {
+				add("intra link %d missing B end", l.ID)
+				continue
+			}
+			if l.ASA() != l.ASB() {
+				add("intra link %d spans ASes %d and %d", l.ID, l.ASA(), l.ASB())
+			}
+		case LinkAccessLine:
+			if l.B != nil {
+				add("access line %d should have nil B end", l.ID)
+			}
+			if l.A.Router.Kind != RouterAccess {
+				add("access line %d not on an access router", l.ID)
+			}
+		}
+		if l.CapacityMbps <= 0 {
+			add("link %d has non-positive capacity", l.ID)
+		}
+		if l.BaseUtil < 0 || l.PeakUtil < l.BaseUtil {
+			add("link %d has inconsistent utilization (base %v, peak %v)",
+				l.ID, l.BaseUtil, l.PeakUtil)
+		}
+	}
+
+	for addr, ifc := range t.IfaceByAddr {
+		if ifc.Addr != addr {
+			add("IfaceByAddr[%v] has address %v", addr, ifc.Addr)
+		}
+	}
+
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		for metro, pool := range a.ClientPools {
+			if _, ok := t.metroByID[metro]; !ok {
+				add("AS %d client pool in unknown metro %q", asn, metro)
+			}
+			origin, _, ok := t.Origin.Lookup(pool.Addr())
+			if !ok {
+				add("AS %d client pool %v not originated", asn, pool)
+			} else if origin != asn && !t.SameOrg(origin, asn) {
+				add("AS %d client pool %v originated by unrelated AS %d", asn, pool, origin)
+			}
+		}
+	}
+
+	return errs
+}

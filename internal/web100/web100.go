@@ -1,0 +1,112 @@
+// Package web100 synthesizes the server-side TCP instrumentation NDT
+// records (§2.1: "the server logs statistics including round trip
+// time, bytes sent, received, and acknowledged, congestion window
+// size, and the number of congestion signals (multiplicative downward
+// congestion window adjustments)"). The real counters come from the
+// web100 kernel patch; here they are derived consistently from the
+// fluid-model outcome of a flow, so analyses written against the M-Lab
+// schema (the 2014/2015 reports used CongSignals and retransmission
+// rates alongside throughput) can run unchanged.
+package web100
+
+import (
+	"math"
+	"math/rand"
+
+	"throughputlab/internal/netsim"
+)
+
+// Snapshot is the end-of-test counter set, named after the web100/NDT
+// variables the M-Lab analyses consumed.
+type Snapshot struct {
+	// DurationSec is the measured transfer duration.
+	DurationSec float64
+	// HCThruOctetsAcked is the total bytes acknowledged (the NDT
+	// throughput numerator).
+	HCThruOctetsAcked int64
+	// SegsOut and SegsRetrans count data segments sent and retransmitted.
+	SegsOut, SegsRetrans int64
+	// CongSignals counts multiplicative cwnd decreases.
+	CongSignals int
+	// MinRTTms and SmoothedRTTms are the flow RTT statistics.
+	MinRTTms, SmoothedRTTms float64
+	// CurCwndBytes is the final congestion window (≈ BDP at the
+	// achieved rate).
+	CurCwndBytes int
+	// SndLimTimeCwndFrac, SndLimTimeRwinFrac and SndLimTimeSenderFrac
+	// split the test duration by what limited the sender (they sum to
+	// 1): the network (cwnd), the receiver (rwin — e.g. a Wi-Fi-starved
+	// client), or the sender itself (an unconstrained fast path).
+	SndLimTimeCwndFrac, SndLimTimeRwinFrac, SndLimTimeSenderFrac float64
+}
+
+const segmentBytes = 1460
+
+// Synthesize derives a Snapshot from a flow outcome. durationSec is
+// the test length (NDT runs ~10 s per direction); rng adds counter
+// jitter and may be nil.
+func Synthesize(res netsim.FlowResult, durationSec float64, rng *rand.Rand) Snapshot {
+	if durationSec <= 0 {
+		durationSec = 10
+	}
+	bytes := res.ThroughputMbps * 1e6 / 8 * durationSec
+	segs := int64(bytes / segmentBytes)
+	retrans := int64(float64(segs) * res.LossRate)
+	// A congestion signal is a loss EPISODE, not a lost segment; bursts
+	// average ~3 segments, and there is at most about one signal per
+	// RTT.
+	signals := int(float64(retrans) / 3)
+	if maxSignals := int(durationSec * 1000 / math.Max(res.RTTms, 1)); signals > maxSignals {
+		signals = maxSignals
+	}
+	if rng != nil && signals > 0 {
+		signals += rng.Intn(3) - 1
+		if signals < 1 {
+			signals = 1
+		}
+	}
+
+	s := Snapshot{
+		DurationSec:       durationSec,
+		HCThruOctetsAcked: int64(bytes),
+		SegsOut:           segs + retrans,
+		SegsRetrans:       retrans,
+		CongSignals:       signals,
+		MinRTTms:          res.StartRTTms,
+		SmoothedRTTms:     res.RTTms,
+		CurCwndBytes:      int(res.ThroughputMbps * 1e6 / 8 * res.RTTms / 1000),
+	}
+	switch res.Kind {
+	case netsim.LimitHomeWiFi:
+		// The starved client advertises a small window.
+		s.SndLimTimeRwinFrac = 0.85
+		s.SndLimTimeCwndFrac = 0.10
+		s.SndLimTimeSenderFrac = 0.05
+	case netsim.LimitLink, netsim.LimitLatency:
+		s.SndLimTimeCwndFrac = 0.90
+		s.SndLimTimeRwinFrac = 0.05
+		s.SndLimTimeSenderFrac = 0.05
+	default: // plan-shaped or unconstrained: the sender paces
+		s.SndLimTimeCwndFrac = 0.35
+		s.SndLimTimeRwinFrac = 0.05
+		s.SndLimTimeSenderFrac = 0.60
+	}
+	return s
+}
+
+// ThroughputMbps recomputes the NDT headline number from the counters
+// (consistency check and convenience).
+func (s Snapshot) ThroughputMbps() float64 {
+	if s.DurationSec <= 0 {
+		return 0
+	}
+	return float64(s.HCThruOctetsAcked) * 8 / 1e6 / s.DurationSec
+}
+
+// RetransRate is SegsRetrans/SegsOut.
+func (s Snapshot) RetransRate() float64 {
+	if s.SegsOut == 0 {
+		return 0
+	}
+	return float64(s.SegsRetrans) / float64(s.SegsOut)
+}

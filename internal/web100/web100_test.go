@@ -1,0 +1,98 @@
+package web100
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"throughputlab/internal/netsim"
+)
+
+func res(tput, rttStart, rttLoaded, loss float64, kind netsim.BottleneckKind) netsim.FlowResult {
+	return netsim.FlowResult{
+		ThroughputMbps: tput,
+		StartRTTms:     rttStart,
+		RTTms:          rttLoaded,
+		LossRate:       loss,
+		Kind:           kind,
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	s := Synthesize(res(50, 20, 40, 1e-3, netsim.LimitAccessPlan), 10, nil)
+	if math.Abs(s.ThroughputMbps()-50) > 0.5 {
+		t.Errorf("recomputed throughput %.2f, want 50", s.ThroughputMbps())
+	}
+	if math.Abs(s.RetransRate()-1e-3) > 5e-4 {
+		t.Errorf("retrans rate %.5f, want ~0.001", s.RetransRate())
+	}
+	if s.MinRTTms != 20 || s.SmoothedRTTms != 40 {
+		t.Error("RTT fields not carried through")
+	}
+	// BDP at 50 Mbps, 40 ms ≈ 250 KB.
+	if s.CurCwndBytes < 200000 || s.CurCwndBytes > 300000 {
+		t.Errorf("cwnd %d, want ≈250000", s.CurCwndBytes)
+	}
+	// Fractions sum to 1.
+	sum := s.SndLimTimeCwndFrac + s.SndLimTimeRwinFrac + s.SndLimTimeSenderFrac
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("SndLim fractions sum to %v", sum)
+	}
+}
+
+func TestCongSignalsScaleWithLoss(t *testing.T) {
+	quiet := Synthesize(res(50, 20, 40, 1e-6, netsim.LimitAccessPlan), 10, nil)
+	lossy := Synthesize(res(50, 120, 125, 0.02, netsim.LimitLatency), 10, nil)
+	if quiet.CongSignals > 2 {
+		t.Errorf("near-lossless flow has %d signals", quiet.CongSignals)
+	}
+	if lossy.CongSignals <= quiet.CongSignals {
+		t.Errorf("lossy flow signals (%d) not above quiet (%d)", lossy.CongSignals, quiet.CongSignals)
+	}
+	// Bounded by one per RTT.
+	maxSignals := int(10 * 1000 / 120)
+	if lossy.CongSignals > maxSignals {
+		t.Errorf("signals %d exceed one-per-RTT bound %d", lossy.CongSignals, maxSignals)
+	}
+}
+
+func TestSndLimByKind(t *testing.T) {
+	wifi := Synthesize(res(20, 15, 30, 1e-5, netsim.LimitHomeWiFi), 10, nil)
+	if wifi.SndLimTimeRwinFrac < 0.5 {
+		t.Error("wifi-limited flow should be rwin-limited")
+	}
+	net := Synthesize(res(1, 130, 132, 0.02, netsim.LimitLatency), 10, nil)
+	if net.SndLimTimeCwndFrac < 0.5 {
+		t.Error("network-limited flow should be cwnd-limited")
+	}
+	plan := Synthesize(res(50, 15, 35, 1e-5, netsim.LimitAccessPlan), 10, nil)
+	if plan.SndLimTimeSenderFrac < 0.5 {
+		t.Error("shaped flow should look sender-paced")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := Synthesize(res(10, 100, 110, 0.01, netsim.LimitLatency), 10, nil)
+	for i := 0; i < 50; i++ {
+		s := Synthesize(res(10, 100, 110, 0.01, netsim.LimitLatency), 10, rng)
+		d := s.CongSignals - base.CongSignals
+		if d < -1 || d > 2 {
+			t.Fatalf("jitter moved signals by %d", d)
+		}
+		if s.CongSignals < 1 {
+			t.Fatal("lossy flow lost all signals to jitter")
+		}
+	}
+}
+
+func TestZeroDurationDefaults(t *testing.T) {
+	s := Synthesize(res(10, 20, 25, 1e-4, netsim.LimitAccessPlan), 0, nil)
+	if s.DurationSec != 10 {
+		t.Errorf("duration defaulted to %v", s.DurationSec)
+	}
+	var empty Snapshot
+	if empty.ThroughputMbps() != 0 || empty.RetransRate() != 0 {
+		t.Error("zero snapshot should compute zeros, not NaN")
+	}
+}
