@@ -13,7 +13,9 @@ package throughputlab
 // BenchmarkCorpusCollection).
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -348,5 +350,71 @@ func BenchmarkComponentAblation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Ablation(e)
+	}
+}
+
+// --- Parallel engine benches: serial vs worker-pool sweeps ---
+//
+// The worker count comes from -engine.parallel (default GOMAXPROCS;
+// the bare name "parallel" is taken by go test itself). Every result
+// is byte-identical to the serial run — the knob only changes wall
+// time.
+
+var engineWorkers = flag.Int("engine.parallel", runtime.GOMAXPROCS(0),
+	"worker count for the parallel engine benchmarks")
+
+// BenchmarkRunAllSerial sweeps every registry experiment on one
+// goroutine (the RunParallel baseline; the per-VP cache is warmed so
+// both sweeps measure experiment cost, not cache build).
+func BenchmarkRunAllSerial(b *testing.B) {
+	e := env(b)
+	experiments.Fig2(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, err := experiments.RunAll(e); err != nil || len(out) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel sweeps every registry experiment over the
+// worker pool; output is byte-identical to BenchmarkRunAllSerial's.
+func BenchmarkRunAllParallel(b *testing.B) {
+	e := env(b)
+	experiments.Fig2(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, _, err := experiments.RunParallel(e, *engineWorkers); err != nil || len(out) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusCollectionParallel measures the sharded campaign with
+// the worker pool; the corpus is identical to the serial one.
+func BenchmarkCorpusCollectionParallel(b *testing.B) {
+	e := env(b)
+	cfg := platform.DefaultCollect()
+	cfg.Tests = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.CollectParallel(e.World, cfg, *engineWorkers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapItParallel measures MAP-IT with parallel interface-graph
+// construction and link extraction.
+func BenchmarkMapItParallel(b *testing.B) {
+	e := env(b)
+	opts := e.MapItOpts()
+	opts.Workers = *engineWorkers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inf := mapit.Run(e.Corpus.Traces, opts); len(inf.Links) == 0 {
+			b.Fatal("no links")
+		}
 	}
 }

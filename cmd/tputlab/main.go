@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tputlab list
-//	tputlab run <experiment>|all [-scale small|default] [-seed N] [-tests N]
+//	tputlab run <experiment>|all [-scale small|default|large] [-seed N] [-tests N] [-parallel N]
 //
 // Example:
 //
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"throughputlab/internal/datasets"
@@ -62,25 +63,46 @@ flags for run/report:
   -scale small|default|large   topology/corpus scale (default "default")
   -json                  (run) emit the result struct as JSON
   -seed N                generation seed (default 1)
-  -tests N               NDT corpus size (0 = scale default)`)
+  -tests N               NDT corpus size (0 = scale default)
+  -parallel N            engine worker count (default GOMAXPROCS);
+                         results are identical for every N`)
+}
+
+// scaleOptions maps a -scale value to its environment options; unknown
+// values are a usage error, and run and report accept the same set.
+func scaleOptions(scale string) (experiments.Options, error) {
+	switch scale {
+	case "default":
+		return experiments.DefaultOptions(), nil
+	case "small":
+		return experiments.QuickOptions(), nil
+	case "large":
+		opts := experiments.DefaultOptions()
+		opts.Topo.Scale = datasets.LargeScale()
+		return opts, nil
+	default:
+		return experiments.Options{}, fmt.Errorf("invalid -scale %q (valid: small, default, large)", scale)
+	}
 }
 
 func reportCmd(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	scale := fs.String("scale", "default", "small or default")
+	scale := fs.String("scale", "default", "small, default or large")
 	seed := fs.Int64("seed", 1, "generation seed")
 	tests := fs.Int("tests", 0, "NDT corpus size override")
+	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.DefaultOptions()
-	if *scale == "small" {
-		opts = experiments.QuickOptions()
+	opts, err := scaleOptions(*scale)
+	if err != nil {
+		return err
 	}
 	opts.Topo.Seed = *seed
 	if *tests > 0 {
 		opts.Collect.Tests = *tests
 	}
+	opts.Workers = *workers
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		return err
@@ -99,24 +121,23 @@ func runCmd(args []string) error {
 	seed := fs.Int64("seed", 1, "generation seed")
 	tests := fs.Int("tests", 0, "NDT corpus size override")
 	asJSON := fs.Bool("json", false, "emit the result struct as JSON instead of a table")
+	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
-	opts := experiments.DefaultOptions()
-	switch *scale {
-	case "small":
-		opts = experiments.QuickOptions()
-	case "large":
-		opts.Topo.Scale = datasets.LargeScale()
+	opts, err := scaleOptions(*scale)
+	if err != nil {
+		return err
 	}
 	opts.Topo.Seed = *seed
 	if *tests > 0 {
 		opts.Collect.Tests = *tests
 	}
+	opts.Workers = *workers
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d)...\n", *scale, *seed)
+	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *scale, *seed, *workers)
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		return err
@@ -127,8 +148,9 @@ func runCmd(args []string) error {
 		len(env.Corpus.Tests), len(env.Corpus.Traces), time.Since(start).Seconds())
 
 	if name == "all" {
-		out, err := experiments.RunAll(env)
+		out, stats, err := experiments.RunParallel(env, *workers)
 		fmt.Print(out)
+		fmt.Fprint(os.Stderr, stats.Summary())
 		return err
 	}
 	entry, ok := experiments.Find(name)

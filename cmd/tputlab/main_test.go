@@ -13,6 +13,27 @@ func TestRunCmdUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestScaleValidation(t *testing.T) {
+	// run and report accept the same scale set and reject anything
+	// else with a usage error, before any world is built.
+	for _, scale := range []string{"small", "default", "large"} {
+		if _, err := scaleOptions(scale); err != nil {
+			t.Errorf("scale %q rejected: %v", scale, err)
+		}
+	}
+	for _, scale := range []string{"tiny", "huge", "", "Default"} {
+		if _, err := scaleOptions(scale); err == nil {
+			t.Errorf("scale %q accepted, want usage error", scale)
+		}
+	}
+	if err := runCmd([]string{"table1", "-scale", "tiny"}); err == nil {
+		t.Error("run with invalid -scale should error")
+	}
+	if err := reportCmd([]string{"-scale", "tiny"}); err == nil {
+		t.Error("report with invalid -scale should error")
+	}
+}
+
 func TestRunCmdSmokeTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a world")

@@ -9,7 +9,7 @@
 // traces. Operator assignment of interface addresses reuses the MAP-IT
 // machinery of package mapit, which handles the same far-side numbering
 // ambiguities; bdrmap's own heuristics beyond that (per-vendor
-// TTL-expired behaviour) are out of scope (DESIGN.md §6).
+// TTL-expired behaviour) are out of scope (DESIGN.md §7).
 //
 // Table 3 of the reproduced paper is a direct printout of this
 // package's Result for 16 Ark VPs; Figures 2–4 intersect Results with

@@ -82,8 +82,15 @@ func MatchTraces(tests []*ndt.Test, traces []*traceroute.Trace, windowMin int, m
 			lo = t.StartMinute - windowMin
 		}
 		hi := t.StartMinute + windowMin
-		for _, tr := range byPair[k] {
-			if used[tr] || tr.LaunchMinute < lo {
+		list := byPair[k]
+		// Binary-search the window's lower bound instead of scanning
+		// the pair's whole history; the tie-break stays "first trace at
+		// or after lo, each trace consumed at most once".
+		for i := sort.Search(len(list), func(i int) bool {
+			return list[i].LaunchMinute >= lo
+		}); i < len(list); i++ {
+			tr := list[i]
+			if used[tr] {
 				continue
 			}
 			if tr.LaunchMinute > hi {

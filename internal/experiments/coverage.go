@@ -36,20 +36,19 @@ type VPAnalysis struct {
 // toward M-Lab servers, Speedtest servers, and the per-VP Alexa
 // targets, all labeled by one shared MAP-IT inference.
 func VPAnalyses(e *Env) []*VPAnalysis {
-	if e.vps != nil {
-		return e.vps
-	}
-	w := e.World
-	prefixTargets := platform.RoutedPrefixTargets(w)
-	mlabTargets := platform.HostTargets(w.MLabServers())
-	speedTargets := platform.HostTargets(w.Speedtest)
+	e.vpsOnce.Do(func() {
+		w := e.World
+		prefixTargets := platform.RoutedPrefixTargets(w)
+		mlabTargets := platform.HostTargets(w.MLabServers())
+		speedTargets := platform.HostTargets(w.Speedtest)
 
-	var out []*VPAnalysis
-	for vi, vp := range w.ArkVPs {
-		out = append(out, AnalyzeVP(e, vp, prefixTargets, mlabTargets, speedTargets, int64(1000+vi)))
-	}
-	e.vps = out
-	return out
+		var out []*VPAnalysis
+		for vi, vp := range w.ArkVPs {
+			out = append(out, AnalyzeVP(e, vp, prefixTargets, mlabTargets, speedTargets, int64(1000+vi)))
+		}
+		e.vps = out
+	})
+	return e.vps
 }
 
 // AnalyzeVP runs the §5 methodology for one vantage point (uncached).

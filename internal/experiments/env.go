@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"throughputlab/internal/core"
@@ -23,6 +24,18 @@ import (
 type Options struct {
 	Topo    topogen.Config
 	Collect platform.CollectConfig
+	// Workers bounds engine parallelism for corpus collection and
+	// MAP-IT inference (0 or 1 = serial). Results are identical for
+	// every worker count — see the determinism contract in DESIGN.md.
+	Workers int
+}
+
+// workers returns the effective worker count (at least 1).
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultOptions is the full-scale configuration used by cmd/tputlab.
@@ -49,18 +62,22 @@ type Env struct {
 	// after the test, the paper's primary method).
 	Matching *core.Matching
 
-	// vps caches the §5 per-VP analyses (built on first use).
-	vps []*VPAnalysis
+	// vps caches the §5 per-VP analyses; vpsOnce guards the build so
+	// concurrent experiments share one computation (Env must not be
+	// copied).
+	vpsOnce sync.Once
+	vps     []*VPAnalysis
 }
 
 // NewEnv generates the world, collects the corpus, and runs the shared
-// inference stages.
+// inference stages, using opts.Workers goroutines for the collection
+// and inference phases.
 func NewEnv(opts Options) (*Env, error) {
 	w, err := topogen.Generate(opts.Topo)
 	if err != nil {
 		return nil, err
 	}
-	corpus, err := platform.Collect(w, opts.Collect)
+	corpus, err := platform.CollectParallel(w, opts.Collect, opts.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +91,7 @@ func NewEnv(opts Options) (*Env, error) {
 func (e *Env) MapItOpts() mapit.Opts {
 	w := e.World
 	return mapit.Opts{
+		Workers: e.Opts.workers(),
 		Prefix2AS: w.Topo.OriginOf,
 		IsIXP: func(a netaddr.Addr) bool {
 			for _, p := range w.Topo.IXPPrefixes {

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExperimentStat records the cost of one experiment inside a
+// RunParallel sweep.
+type ExperimentStat struct {
+	Name string
+	// Wall is the experiment's own wall time.
+	Wall time.Duration
+	// AllocBytes is the heap allocated while the experiment ran,
+	// measured from the runtime's global counters — exact with one
+	// worker, an attribution estimate when experiments overlap.
+	AllocBytes uint64
+}
+
+// RunStats summarizes a RunParallel sweep.
+type RunStats struct {
+	Workers int
+	// Wall is the end-to-end sweep time; with more than one worker it
+	// is less than the sum of per-experiment wall times.
+	Wall time.Duration
+	// Experiments holds per-experiment costs in registry order.
+	Experiments []ExperimentStat
+}
+
+// Summary renders the stats as a small table, slowest experiment
+// first.
+func (s *RunStats) Summary() string {
+	ordered := append([]ExperimentStat(nil), s.Experiments...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Wall > ordered[j-1].Wall; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	var sum time.Duration
+	for _, st := range ordered {
+		sum += st.Wall
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d experiments in %.2fs wall (%.2fs cpu-serial, %d workers)\n",
+		len(ordered), s.Wall.Seconds(), sum.Seconds(), s.Workers)
+	for _, st := range ordered {
+		fmt.Fprintf(&sb, "  %-12s %8.3fs  %8.1f MB\n",
+			st.Name, st.Wall.Seconds(), float64(st.AllocBytes)/(1<<20))
+	}
+	return sb.String()
+}
+
+// RunParallel executes every registry experiment over a worker pool
+// and emits output in registry order, byte-identical to RunAll. When
+// an experiment fails, the output of the registry entries before it is
+// returned together with the error, matching RunAll's partial-output
+// semantics. Per-experiment wall time and allocation are collected
+// into RunStats.
+//
+// Experiments share the Env read-only (the §5 per-VP cache is built
+// once under Env.vpsOnce), so any worker count is safe and the output
+// deterministic.
+func RunParallel(e *Env, workers int) (string, *RunStats, error) {
+	entries := Registry()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	start := time.Now()
+
+	type slot struct {
+		out  string
+		err  error
+		stat ExperimentStat
+	}
+	slots := make([]slot, len(entries))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(entries) {
+					return
+				}
+				entry := entries[i]
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				t0 := time.Now()
+				r, err := entry.Run(e)
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&after)
+				slots[i].stat = ExperimentStat{
+					Name: entry.Name, Wall: wall,
+					AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				}
+				if err != nil {
+					slots[i].err = fmt.Errorf("experiment %s: %w", entry.Name, err)
+					continue
+				}
+				slots[i].out = renderEntry(entry, r)
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats := &RunStats{Workers: workers}
+	var sb strings.Builder
+	for i := range slots {
+		stats.Experiments = append(stats.Experiments, slots[i].stat)
+		if slots[i].err != nil {
+			stats.Wall = time.Since(start)
+			return sb.String(), stats, slots[i].err
+		}
+		sb.WriteString(slots[i].out)
+	}
+	stats.Wall = time.Since(start)
+	return sb.String(), stats, nil
+}

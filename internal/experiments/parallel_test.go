@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunParallelGolden asserts the engine's core contract: RunParallel
+// output is byte-identical to serial RunAll for every worker count.
+func TestRunParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry four times")
+	}
+	want, err := RunAll(env)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(want) < 1000 {
+		t.Fatalf("RunAll output suspiciously small (%d bytes)", len(want))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, stats, err := RunParallel(env, workers)
+		if err != nil {
+			t.Fatalf("RunParallel(%d): %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("RunParallel(%d) output differs from RunAll (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+		if stats == nil {
+			t.Fatalf("RunParallel(%d): nil stats", workers)
+		}
+		entries := Registry()
+		if len(stats.Experiments) != len(entries) {
+			t.Fatalf("RunParallel(%d): %d stats, want %d", workers, len(stats.Experiments), len(entries))
+		}
+		for i, st := range stats.Experiments {
+			if st.Name != entries[i].Name {
+				t.Errorf("stats[%d] = %q, want registry order %q", i, st.Name, entries[i].Name)
+			}
+			if st.Wall <= 0 {
+				t.Errorf("experiment %s has non-positive wall time", st.Name)
+			}
+		}
+		if stats.Wall <= 0 {
+			t.Errorf("RunParallel(%d): non-positive sweep wall time", workers)
+		}
+		if s := stats.Summary(); len(s) < 100 {
+			t.Errorf("stats summary too short: %q", s)
+		}
+	}
+}
+
+// TestNewEnvWorkerIndependence asserts that the worker knob never
+// changes the environment: corpus sizes, inference, and matching are
+// identical for serial and parallel construction.
+func TestNewEnvWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an extra world")
+	}
+	opts := QuickOptions()
+	opts.Collect.Tests = 2000
+	serial, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Corpus.Tests) != len(serial.Corpus.Tests) ||
+		len(par.Corpus.Traces) != len(serial.Corpus.Traces) ||
+		par.Corpus.TestsWithoutTrace != serial.Corpus.TestsWithoutTrace {
+		t.Fatalf("corpus differs: %d/%d/%d vs %d/%d/%d",
+			len(par.Corpus.Tests), len(par.Corpus.Traces), par.Corpus.TestsWithoutTrace,
+			len(serial.Corpus.Tests), len(serial.Corpus.Traces), serial.Corpus.TestsWithoutTrace)
+	}
+	for i := range serial.Corpus.Tests {
+		a, b := serial.Corpus.Tests[i], par.Corpus.Tests[i]
+		if a.ClientAddr != b.ClientAddr || a.StartMinute != b.StartMinute || a.DownMbps != b.DownMbps {
+			t.Fatalf("test %d differs between worker counts", i)
+		}
+	}
+	if len(par.Inference.Links) != len(serial.Inference.Links) {
+		t.Fatalf("inference differs: %d vs %d links",
+			len(par.Inference.Links), len(serial.Inference.Links))
+	}
+	for i := range serial.Inference.Links {
+		if par.Inference.Links[i] != serial.Inference.Links[i] {
+			t.Fatalf("link %d differs between worker counts", i)
+		}
+	}
+	if par.Matching.Matched() != serial.Matching.Matched() {
+		t.Fatalf("matching differs: %d vs %d", par.Matching.Matched(), serial.Matching.Matched())
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Renderer is implemented by every experiment result.
@@ -70,16 +71,24 @@ func Names() []string {
 	return out
 }
 
-// RunAll executes every experiment and concatenates the rendered
-// output.
+// RunAll executes every experiment serially and concatenates the
+// rendered output. RunParallel produces byte-identical output with any
+// worker count.
 func RunAll(e *Env) (string, error) {
-	out := ""
+	var sb strings.Builder
 	for _, entry := range Registry() {
 		r, err := entry.Run(e)
 		if err != nil {
-			return out, fmt.Errorf("experiment %s: %w", entry.Name, err)
+			return sb.String(), fmt.Errorf("experiment %s: %w", entry.Name, err)
 		}
-		out += "=== " + entry.Name + " — " + entry.Paper + " ===\n" + r.Render() + "\n"
+		sb.WriteString(renderEntry(entry, r))
 	}
-	return out, nil
+	return sb.String(), nil
+}
+
+// renderEntry formats one experiment's contribution to the all-
+// experiments output; RunAll and RunParallel share it so their outputs
+// stay byte-identical.
+func renderEntry(entry Entry, r Renderer) string {
+	return "=== " + entry.Name + " — " + entry.Paper + " ===\n" + r.Render() + "\n"
 }

@@ -17,11 +17,12 @@
 // operator inference with threshold f, IXP-prefix handling, and
 // iterated refinement where votes use previously inferred operators
 // rather than raw prefix origins. Vendor-specific special cases of the
-// original are out of scope (DESIGN.md §6).
+// original are out of scope (DESIGN.md §7).
 package mapit
 
 import (
 	"sort"
+	"sync"
 
 	"throughputlab/internal/netaddr"
 	"throughputlab/internal/topology"
@@ -47,6 +48,12 @@ type Opts struct {
 	// taken at face value (links get attributed one hop late, inside
 	// the neighbor).
 	DisableFarSide bool
+	// Workers parallelizes the per-trace passes (interface-graph
+	// construction and link extraction) over goroutines; 0 or 1 runs
+	// serially. The inference is identical for every worker count. The
+	// Prefix2AS/IsIXP/SameOrg callbacks must be safe for concurrent
+	// calls when Workers > 1.
+	Workers int
 }
 
 func (o *Opts) withDefaults() {
@@ -62,6 +69,29 @@ func (o *Opts) withDefaults() {
 	if o.IsIXP == nil {
 		o.IsIXP = func(netaddr.Addr) bool { return false }
 	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+}
+
+// traceChunks splits the corpus into at most workers contiguous
+// chunks for the per-trace parallel passes.
+func traceChunks(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make([][2]int, 0, workers)
+	for c := 0; c < workers; c++ {
+		lo := c * n / workers
+		hi := (c + 1) * n / workers
+		if lo < hi {
+			chunks = append(chunks, [2]int{lo, hi})
+		}
+	}
+	return chunks
 }
 
 // Link is one inferred IP-level interdomain link, identified by the
@@ -97,36 +127,73 @@ type ifaceStats struct {
 func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	opts.withDefaults()
 
-	// Pass 0: neighbor sets. The destination hop of each trace is a
-	// host, not a router interface; it contributes as a vote source for
-	// its predecessor but gets no operator of its own.
-	stats := make(map[netaddr.Addr]*ifaceStats)
-	get := func(a netaddr.Addr) *ifaceStats {
-		s := stats[a]
-		if s == nil {
-			s = &ifaceStats{prev: map[netaddr.Addr]int{}, next: map[netaddr.Addr]int{}}
-			if origin, ok := opts.Prefix2AS(a); ok {
-				s.origin, s.hasOrg = origin, true
+	// Pass 0: neighbor sets, built in parallel over contiguous trace
+	// chunks and merged by count addition — merge order cannot affect
+	// the result. The destination hop of each trace is a host, not a
+	// router interface; it contributes as a vote source for its
+	// predecessor but gets no operator of its own.
+	chunks := traceChunks(len(traces), opts.Workers)
+	partStats := make([]map[netaddr.Addr]*ifaceStats, len(chunks))
+	partDsts := make([]map[netaddr.Addr]struct{}, len(chunks))
+	var wg sync.WaitGroup
+	for c, ch := range chunks {
+		wg.Add(1)
+		go func(c int, lo, hi int) {
+			defer wg.Done()
+			local := make(map[netaddr.Addr]*ifaceStats)
+			get := func(a netaddr.Addr) *ifaceStats {
+				s := local[a]
+				if s == nil {
+					s = &ifaceStats{prev: map[netaddr.Addr]int{}, next: map[netaddr.Addr]int{}}
+					if origin, ok := opts.Prefix2AS(a); ok {
+						s.origin, s.hasOrg = origin, true
+					}
+					s.isIXP = opts.IsIXP(a)
+					local[a] = s
+				}
+				return s
 			}
-			s.isIXP = opts.IsIXP(a)
-			stats[a] = s
-		}
-		return s
+			dsts := map[netaddr.Addr]struct{}{}
+			for _, tr := range traces[lo:hi] {
+				addrs := tr.ResponsiveAddrs()
+				if tr.Reached && len(addrs) > 0 {
+					dsts[addrs[len(addrs)-1]] = struct{}{}
+				}
+				for i, a := range addrs {
+					s := get(a)
+					if i > 0 {
+						s.prev[addrs[i-1]]++
+					}
+					if i+1 < len(addrs) {
+						s.next[addrs[i+1]]++
+					}
+				}
+			}
+			partStats[c], partDsts[c] = local, dsts
+		}(c, ch[0], ch[1])
 	}
+	wg.Wait()
+	stats := make(map[netaddr.Addr]*ifaceStats)
 	dsts := map[netaddr.Addr]struct{}{}
-	for _, tr := range traces {
-		addrs := tr.ResponsiveAddrs()
-		if tr.Reached && len(addrs) > 0 {
-			dsts[addrs[len(addrs)-1]] = struct{}{}
+	if len(chunks) > 0 {
+		stats, dsts = partStats[0], partDsts[0]
+	}
+	for c := 1; c < len(chunks); c++ {
+		for a, s := range partStats[c] {
+			dst := stats[a]
+			if dst == nil {
+				stats[a] = s
+				continue
+			}
+			for n, k := range s.prev {
+				dst.prev[n] += k
+			}
+			for n, k := range s.next {
+				dst.next[n] += k
+			}
 		}
-		for i, a := range addrs {
-			s := get(a)
-			if i > 0 {
-				s.prev[addrs[i-1]]++
-			}
-			if i+1 < len(addrs) {
-				s.next[addrs[i+1]]++
-			}
+		for a := range partDsts[c] {
+			dsts[a] = struct{}{}
 		}
 	}
 
@@ -226,22 +293,41 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	inf := &Inference{Operator: op, opts: opts}
 
 	// Link extraction: adjacent responsive pairs whose operators belong
-	// to different organizations.
-	linkCount := map[[2]netaddr.Addr]int{}
-	for _, tr := range traces {
-		addrs := tr.ResponsiveAddrs()
-		end := len(addrs)
-		if tr.Reached {
-			end-- // final hop is the destination host
-		}
-		for i := 1; i < end; i++ {
-			a, b := addrs[i-1], addrs[i]
-			asA, okA := op[a]
-			asB, okB := op[b]
-			if !okA || !okB || opts.SameOrg(asA, asB) {
-				continue
+	// to different organizations. Parallel over the same trace chunks;
+	// op is read-only here and per-chunk counts merge by addition.
+	partLinks := make([]map[[2]netaddr.Addr]int, len(chunks))
+	for c, ch := range chunks {
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			local := map[[2]netaddr.Addr]int{}
+			for _, tr := range traces[lo:hi] {
+				addrs := tr.ResponsiveAddrs()
+				end := len(addrs)
+				if tr.Reached {
+					end-- // final hop is the destination host
+				}
+				for i := 1; i < end; i++ {
+					a, b := addrs[i-1], addrs[i]
+					asA, okA := op[a]
+					asB, okB := op[b]
+					if !okA || !okB || opts.SameOrg(asA, asB) {
+						continue
+					}
+					local[[2]netaddr.Addr{a, b}]++
+				}
 			}
-			linkCount[[2]netaddr.Addr{a, b}]++
+			partLinks[c] = local
+		}(c, ch[0], ch[1])
+	}
+	wg.Wait()
+	linkCount := map[[2]netaddr.Addr]int{}
+	if len(chunks) > 0 {
+		linkCount = partLinks[0]
+	}
+	for c := 1; c < len(chunks); c++ {
+		for k, n := range partLinks[c] {
+			linkCount[k] += n
 		}
 	}
 	for k, n := range linkCount {
@@ -267,13 +353,16 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 // distinct neighbor interface, not per trace — MAP-IT reasons over the
 // interface graph, and volume weighting would let one busy link
 // out-vote the rest of a shared border router's neighbors), collapsing
-// siblings onto a representative ASN. Destination-host neighbors are
+// siblings onto the smallest ASN of the organization so the outcome
+// never depends on map iteration order (the previous "first key seen
+// wins" collapse made tie-breaks, and hence the whole inference,
+// nondeterministic across runs). Destination-host neighbors are
 // excluded (they are not router interfaces). It returns the winning
 // ASN and its vote fraction (0 when no votes).
 func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
 	sameOrg func(a, b topology.ASN) bool, dsts map[netaddr.Addr]struct{}) (topology.ASN, float64) {
 
-	votes := map[topology.ASN]int{}
+	perAS := map[topology.ASN]int{}
 	total := 0
 	for a := range neigh {
 		if _, isDst := dsts[a]; isDst {
@@ -283,19 +372,30 @@ func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
 		if !ok {
 			continue
 		}
-		// Collapse onto an existing sibling key.
-		key := asn
-		for k := range votes {
-			if sameOrg(k, asn) {
-				key = k
-				break
-			}
-		}
-		votes[key]++
+		perAS[asn]++
 		total++
 	}
 	if total == 0 {
 		return 0, 0
+	}
+	asns := make([]topology.ASN, 0, len(perAS))
+	for asn := range perAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	votes := map[topology.ASN]int{}
+	for _, asn := range asns {
+		rep := asn
+		for _, other := range asns {
+			if other >= asn {
+				break
+			}
+			if sameOrg(other, asn) {
+				rep = other
+				break
+			}
+		}
+		votes[rep] += perAS[asn]
 	}
 	var best topology.ASN
 	bestN := -1

@@ -5,7 +5,7 @@
 // Addresses are stored as host-order uint32 values so they can be used
 // directly as map keys and compared cheaply. The package is deliberately
 // IPv4-only: the May 2015 M-Lab corpus analysed by the paper is
-// IPv4-dominated (see DESIGN.md §6).
+// IPv4-dominated (see DESIGN.md §7).
 package netaddr
 
 import (

@@ -9,6 +9,8 @@ package platform
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/ndt"
@@ -30,14 +32,16 @@ type Household struct {
 
 // BuildPopulation creates households for every (ISP, metro) pool. Tier
 // and Wi-Fi draws follow the ISP profiles; the same seed yields the
-// same population.
+// same population. Addresses come from the pure ClientAt accessor, so
+// building a population never mutates the World and repeated campaigns
+// over one world see the same homes.
 func BuildPopulation(w *topogen.World, perPoolClients int, seed int64) []Household {
 	rng := rand.New(rand.NewSource(seed))
 	var out []Household
 	for _, p := range datasets.AccessISPs() {
 		for _, metro := range p.Metros {
 			for i := 0; i < perPoolClients; i++ {
-				ep, ok := w.NewClient(p.Name, metro)
+				ep, ok := w.ClientAt(p.Name, metro, uint64(i))
 				if !ok {
 					continue
 				}
@@ -59,6 +63,12 @@ func BuildPopulation(w *topogen.World, perPoolClients int, seed int64) []Househo
 	return out
 }
 
+// DefaultShards is the number of RNG shards a campaign is split into
+// when CollectConfig.Shards is zero. The shard count is part of the
+// corpus identity: (Seed, Shards) fully determine the corpus, and the
+// worker count never does.
+const DefaultShards = 16
+
 // CollectConfig parameterizes a corpus collection campaign.
 type CollectConfig struct {
 	Seed int64
@@ -69,6 +79,11 @@ type CollectConfig struct {
 	Tests int
 	// PerPoolClients sizes the household population.
 	PerPoolClients int
+	// Shards splits arrival scheduling into independent RNG streams
+	// (seed + shard), merged deterministically; 0 means DefaultShards.
+	// Together with Seed it defines the corpus — see the determinism
+	// contract in DESIGN.md.
+	Shards int
 	// BattleForNet makes each client test against up to five nearby
 	// sites back-to-back instead of only the closest (§2.2).
 	BattleForNet bool
@@ -110,9 +125,98 @@ func testVolumeShape(localHour float64) float64 {
 	return 0.06 + 0.94*netsim.DiurnalShape(localHour)
 }
 
-// Collect runs a full crowdsourced campaign.
+// arrival is one scheduled NDT test, fully determined at scheduling
+// time: every random draw its execution needs (entropy, collector
+// launch lag, the per-arrival RNG stream) is made by the shard RNG, so
+// executing arrivals in parallel cannot perturb the corpus.
+type arrival struct {
+	shard, ord int // scheduling position, for deterministic tie-breaks
+	hh         int
+	minute     int
+	site       *topogen.MLabSite
+	entropy    uint32
+	// lag is the traceroute launch offset relative to the test start,
+	// in [-2, +10] minutes (§4.1 timestamp skew).
+	lag int
+	// rngSeed seeds the arrival-private RNG that drives the test's
+	// noise draws and the traceroute's artifact draws.
+	rngSeed int64
+}
+
+// shardSeed derives the RNG seed of one scheduling shard. A
+// golden-ratio stride keeps shard streams away from each other and
+// from the population stream at Seed+1.
+func shardSeed(seed int64, shard int) int64 {
+	return int64(uint64(seed) + uint64(shard+1)*0x9E3779B97F4A7C15)
+}
+
+// scheduleShard draws the arrivals of one shard: tests [first,
+// first+count) of the campaign, scheduled from the shard's own RNG
+// stream.
+func scheduleShard(w *topogen.World, cfg CollectConfig, households []Household,
+	hw []float64, hourW *[24]float64, shard, count int) []arrival {
+
+	rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, shard)))
+	out := make([]arrival, 0, count)
+	for n := 0; n < count; n++ {
+		hi := stats.WeightedChoice(hw, rng)
+		h := households[hi]
+		metro := w.Topo.MustMetro(h.Endpoint.Metro)
+		localH := stats.WeightedChoice(hourW[:], rng)
+		day := rng.Intn(cfg.Days)
+		utcH := ((localH-metro.UTCOffset)%24 + 24) % 24
+		minute := day*1440 + utcH*60 + rng.Intn(60)
+
+		sites := w.NearestMLabSite(h.Endpoint.Metro, 0)
+		if cfg.BattleForNet {
+			// The Battle-for-the-Net wrapper tests back-to-back against
+			// up to five servers in the region (§2.2).
+			sites = w.NearestMLabSite(h.Endpoint.Metro, 6)
+			if len(sites) > 5 {
+				sites = sites[:5]
+			}
+		} else if len(sites) > 1 {
+			// The M-Lab backend picks one server near the client.
+			i := rng.Intn(len(sites))
+			sites = sites[i : i+1]
+		}
+		for _, site := range sites {
+			out = append(out, arrival{
+				shard: shard, ord: len(out), hh: hi, minute: minute, site: site,
+				entropy: rng.Uint32(),
+				lag:     -2 + rng.Intn(13),
+				rngSeed: rng.Int63(),
+			})
+			minute += 2 + rng.Intn(3) // back-to-back tests (BattleForNet)
+		}
+	}
+	return out
+}
+
+// Collect runs a full crowdsourced campaign serially. The corpus is
+// identical to CollectParallel with any worker count.
 func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return CollectParallel(w, cfg, 1)
+}
+
+// CollectParallel runs a full crowdsourced campaign with the given
+// worker count.
+//
+// Determinism contract: the corpus depends only on (World, cfg) —
+// scheduling is split into cfg.Shards independent RNG streams that are
+// merged in (minute, shard, ord) order, the single-threaded-collector
+// state is evaluated in one deterministic sequential sweep over the
+// merged schedule, and each arrival then executes against its own
+// pre-seeded RNG. Workers only change how the scheduling and execution
+// phases are spread over goroutines, never which draws are made.
+func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	households := BuildPopulation(w, cfg.PerPoolClients, cfg.Seed+1)
 	runner := ndt.NewRunner(w)
 	tracer := traceroute.New(w.Topo, w.Resolver, cfg.Artifacts)
@@ -140,64 +244,35 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 		hourW[h] = testVolumeShape(float64(h) + 0.5)
 	}
 
-	// Schedule arrivals first, then execute in time order so the
-	// single-threaded collector state is evaluated correctly.
-	type arrival struct {
-		hh      int
-		minute  int
-		site    *topogen.MLabSite
-		entropy uint32
-	}
+	// Phase 1 — scheduling, parallel over shards. Shard s draws
+	// Tests/shards arrivals (the first Tests%shards shards draw one
+	// more) from its own stream.
+	perShard := make([][]arrival, shards)
+	runIndexed(shards, workers, func(s int) {
+		count := cfg.Tests / shards
+		if s < cfg.Tests%shards {
+			count++
+		}
+		perShard[s] = scheduleShard(w, cfg, households, hw, &hourW, s, count)
+	})
 	var schedule []arrival
-	for n := 0; n < cfg.Tests; n++ {
-		hi := stats.WeightedChoice(hw, rng)
-		h := households[hi]
-		metro := w.Topo.MustMetro(h.Endpoint.Metro)
-		localH := stats.WeightedChoice(hourW[:], rng)
-		day := rng.Intn(cfg.Days)
-		utcH := ((localH-metro.UTCOffset)%24 + 24) % 24
-		minute := day*1440 + utcH*60 + rng.Intn(60)
-
-		sites := w.NearestMLabSite(h.Endpoint.Metro, 0)
-		if cfg.BattleForNet {
-			// The Battle-for-the-Net wrapper tests back-to-back against
-			// up to five servers in the region (§2.2).
-			sites = w.NearestMLabSite(h.Endpoint.Metro, 6)
-			if len(sites) > 5 {
-				sites = sites[:5]
-			}
-		} else if len(sites) > 1 {
-			// The M-Lab backend picks one server near the client.
-			i := rng.Intn(len(sites))
-			sites = sites[i : i+1]
-		}
-		for _, site := range sites {
-			schedule = append(schedule, arrival{
-				hh: hi, minute: minute, site: site, entropy: rng.Uint32(),
-			})
-			minute += 2 + rng.Intn(3) // back-to-back tests (BattleForNet)
-		}
+	for _, sh := range perShard {
+		schedule = append(schedule, sh...)
 	}
+	// Ties on minute resolve by (shard, ord) — the concatenation order —
+	// so the merge is a total order independent of worker count.
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].minute < schedule[j].minute })
 
-	corpus := &Corpus{}
-	// busyUntil tracks each server's single-threaded traceroute
-	// collector.
+	// Phase 2 — the single-threaded traceroute collector (§4.1) is
+	// global sequential state: sweep the merged schedule once in time
+	// order, deciding per arrival whether its traceroute launches and
+	// when. This is pure integer bookkeeping and stays serial.
+	launches := make([]int, len(schedule)) // launch minute, -1 = collector busy
 	busyUntil := map[string]int{}
 	for id, a := range schedule {
-		h := households[a.hh]
 		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
-		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
-			server, a.minute, a.entropy, rng)
-		if err != nil {
-			return nil, err
-		}
-		corpus.Tests = append(corpus.Tests, test)
-
-		// Server-side Paris traceroute toward the client, if the
-		// collector is idle (§4.1's single-threaded process).
 		if busyUntil[server.Name] > a.minute {
-			corpus.TestsWithoutTrace++
+			launches[id] = -1
 			continue
 		}
 		// Launch lag: the collector queues behind test teardown, and
@@ -205,16 +280,86 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 		// timestamp up to ~2 minutes BEFORE its test and as much as ~10
 		// minutes after — which is why the paper's ±window matching
 		// recovers more pairs than the after-only window (§4.1).
-		launch := a.minute - 2 + rng.Intn(13)
+		launch := a.minute + a.lag
 		if launch < 0 {
 			launch = 0
 		}
 		busyUntil[server.Name] = launch + cfg.TracerouteDurationMin
-		tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launch, rng)
+		launches[id] = launch
+	}
+
+	// Phase 3 — execution, parallel over arrivals. Each arrival runs
+	// its NDT test and (when scheduled) its traceroute against a
+	// private RNG seeded during scheduling, so results land in fixed
+	// slots regardless of which worker computes them.
+	tests := make([]*ndt.Test, len(schedule))
+	traces := make([]*traceroute.Trace, len(schedule))
+	errs := make([]error, len(schedule))
+	runIndexed(len(schedule), workers, func(id int) {
+		a := schedule[id]
+		h := households[a.hh]
+		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
+		rng := rand.New(rand.NewSource(a.rngSeed))
+		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
+			server, a.minute, a.entropy, rng)
+		if err != nil {
+			errs[id] = err
+			return
+		}
+		tests[id] = test
+		if launches[id] < 0 {
+			return
+		}
+		tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launches[id], rng)
+		if err != nil {
+			errs[id] = err
+			return
+		}
+		traces[id] = tr
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		corpus.Traces = append(corpus.Traces, tr)
+	}
+
+	corpus := &Corpus{Tests: tests}
+	for id, tr := range traces {
+		if tr != nil {
+			corpus.Traces = append(corpus.Traces, tr)
+		} else if launches[id] < 0 {
+			corpus.TestsWithoutTrace++
+		}
 	}
 	return corpus, nil
+}
+
+// runIndexed invokes fn(i) for every i in [0, n), spread over up to
+// workers goroutines. With one worker it runs inline.
+func runIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

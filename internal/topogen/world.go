@@ -205,7 +205,10 @@ func (w *World) MLabServers() []Host {
 }
 
 // NewClient draws a fresh client endpoint from the ISP's pool in the
-// given metro. ok is false when the ISP has no pool there.
+// given metro, advancing the pool's shared cursor. ok is false when
+// the ISP has no pool there. NewClient mutates the World and must not
+// be called concurrently; pure callers (corpus collection) use
+// ClientAt instead.
 func (w *World) NewClient(isp, metro string) (routing.Endpoint, bool) {
 	an := w.Access[isp]
 	if an == nil {
@@ -215,16 +218,38 @@ func (w *World) NewClient(isp, metro string) (routing.Endpoint, bool) {
 	if pi == nil {
 		return routing.Endpoint{}, false
 	}
-	// Skip network address; wrap within the pool.
 	pi.next++
-	n := pi.next%(pi.Prefix.NumAddrs()-2) + 1
+	return w.clientEndpoint(pi, metro, pi.next), true
+}
+
+// ClientAt returns the nth client endpoint of the ISP's pool in the
+// given metro without touching the shared pool cursor, so concurrent
+// callers are safe and repeated campaigns see identical households.
+// ClientAt(isp, metro, 0) equals the first NewClient draw on a fresh
+// world.
+func (w *World) ClientAt(isp, metro string, n uint64) (routing.Endpoint, bool) {
+	an := w.Access[isp]
+	if an == nil {
+		return routing.Endpoint{}, false
+	}
+	pi := an.PoolByMetro[metro]
+	if pi == nil {
+		return routing.Endpoint{}, false
+	}
+	return w.clientEndpoint(pi, metro, n+1), true
+}
+
+// clientEndpoint materializes pool draw number cursor (1-based),
+// skipping the network address and wrapping within the pool.
+func (w *World) clientEndpoint(pi *PoolInfo, metro string, cursor uint64) routing.Endpoint {
+	n := cursor%(pi.Prefix.NumAddrs()-2) + 1
 	return routing.Endpoint{
 		Addr:       pi.Prefix.Nth(n),
 		ASN:        pi.ASN,
 		Metro:      metro,
 		Router:     pi.Router,
 		AccessLine: pi.AccessLine,
-	}, true
+	}
 }
 
 // ResolveDomain emulates a DNS lookup of a popular domain from a
