@@ -15,6 +15,7 @@ package throughputlab
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"throughputlab/internal/mapit"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/report"
+	"throughputlab/internal/routing"
 	"throughputlab/internal/topogen"
 )
 
@@ -54,6 +56,35 @@ func BenchmarkWorldGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkResolverResolve measures a warm-cache path resolution: one
+// flow-hash pick over the memoized segment/interdomain/AS-path caches.
+// The uncached variant recomputes every layer per call, quantifying
+// what the memoization buys.
+func BenchmarkResolverResolve(b *testing.B) {
+	e := env(b)
+	households := platform.BuildPopulation(e.World, 5, 8)
+	servers := e.World.MLabServers()
+	for _, mode := range []string{"warm", "uncached"} {
+		rv := e.World.Resolver
+		if mode == "uncached" {
+			rv = routing.New(e.World.Topo, e.World.Routes)
+			rv.DisableCache()
+		}
+		b.Run(mode, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := households[rng.Intn(len(households))]
+				s := servers[rng.Intn(len(servers))]
+				key := routing.FlowKey(s.Endpoint.Addr, h.Endpoint.Addr, uint32(i))
+				if _, err := rv.Resolve(s.Endpoint, h.Endpoint, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCorpusCollection measures a crowdsourced NDT campaign.
 func BenchmarkCorpusCollection(b *testing.B) {
 	e := env(b)
@@ -72,6 +103,7 @@ func BenchmarkCorpusCollection(b *testing.B) {
 // ISP) plus the §4.2 aggregate.
 func BenchmarkFig1ASHops(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Fig1(e); len(r.Rows) == 0 {
@@ -83,6 +115,7 @@ func BenchmarkFig1ASHops(b *testing.B) {
 // BenchmarkTable1Providers regenerates Table 1.
 func BenchmarkTable1Providers(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table1(e); len(r.Rows) != 12 {
@@ -95,6 +128,7 @@ func BenchmarkTable1Providers(b *testing.B) {
 // diversity behind the Level3 Atlanta server).
 func BenchmarkTable2LinkDiversity(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table2(e); len(r.Rows) == 0 {
@@ -112,6 +146,7 @@ func BenchmarkTable3Bdrmap(b *testing.B) {
 	prefixTargets := platform.RoutedPrefixTargets(e.World)
 	mlab := platform.HostTargets(e.World.MLabServers())
 	speed := platform.HostTargets(e.World.Speedtest)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		va := experiments.AnalyzeVP(e, vp, prefixTargets, mlab, speed, int64(i))
@@ -127,6 +162,7 @@ func BenchmarkTable3Bdrmap(b *testing.B) {
 func BenchmarkFig2Coverage(b *testing.B) {
 	e := env(b)
 	experiments.Fig2(e) // warm the per-VP cache
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Fig2(e); len(r.Rows) != 16 {
@@ -139,6 +175,7 @@ func BenchmarkFig2Coverage(b *testing.B) {
 func BenchmarkFig3PeerCoverage(b *testing.B) {
 	e := env(b)
 	experiments.Fig3(e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Fig3(e); len(r.Rows) != 16 {
@@ -151,6 +188,7 @@ func BenchmarkFig3PeerCoverage(b *testing.B) {
 func BenchmarkFig4AlexaOverlap(b *testing.B) {
 	e := env(b)
 	experiments.Fig4(e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Fig4(e); len(r.Rows) != 16 {
@@ -162,6 +200,7 @@ func BenchmarkFig4AlexaOverlap(b *testing.B) {
 // BenchmarkFig5Diurnal regenerates Figure 5 (both panels).
 func BenchmarkFig5Diurnal(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Fig5(e); len(r.Panels) != 2 {
@@ -173,6 +212,7 @@ func BenchmarkFig5Diurnal(b *testing.B) {
 // BenchmarkMatchingRates regenerates the §4.1 association analysis.
 func BenchmarkMatchingRates(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Matching(e); len(r.Rows) == 0 {
@@ -184,6 +224,7 @@ func BenchmarkMatchingRates(b *testing.B) {
 // BenchmarkThresholdSweep regenerates the §6.2 sensitivity analysis.
 func BenchmarkThresholdSweep(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Thresholds(e); len(r.Points) == 0 {
@@ -195,6 +236,7 @@ func BenchmarkThresholdSweep(b *testing.B) {
 // BenchmarkBiasDiagnostics regenerates the §6.1 diagnostics.
 func BenchmarkBiasDiagnostics(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.BiasDiagnostics(e); len(r.Rows) == 0 {
@@ -206,6 +248,7 @@ func BenchmarkBiasDiagnostics(b *testing.B) {
 // BenchmarkTomography regenerates the §3 comparison.
 func BenchmarkTomography(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Tomography(e)
@@ -217,6 +260,7 @@ func BenchmarkTomography(b *testing.B) {
 func BenchmarkSnapshotDrift(b *testing.B) {
 	e := env(b)
 	experiments.Fig2(e) // warm VP cache for snapshot A
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Snapshots(e); err != nil {
@@ -229,6 +273,7 @@ func BenchmarkSnapshotDrift(b *testing.B) {
 // signature evaluation (E14).
 func BenchmarkSignatures(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Signatures(e); r.Confusion.Total == 0 {
@@ -240,6 +285,7 @@ func BenchmarkSignatures(b *testing.B) {
 // BenchmarkTSLPSurvey regenerates the §7 TSLP survey (E15).
 func BenchmarkTSLPSurvey(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.TSLP(e); r.Links == 0 {
@@ -251,6 +297,7 @@ func BenchmarkTSLPSurvey(b *testing.B) {
 // BenchmarkPlacement regenerates the §7 placement comparison (E16).
 func BenchmarkPlacement(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Placement(e); len(r.Greedy) == 0 {
@@ -268,6 +315,7 @@ func BenchmarkAblationMatchingWindow(b *testing.B) {
 	e := env(b)
 	for _, w := range []int{1, 10} {
 		b.Run(fmt.Sprintf("after-%dmin", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.MatchTraces(e.Corpus.Tests, e.Corpus.Traces, w, core.WindowAfter)
 			}
@@ -281,6 +329,7 @@ func BenchmarkAblationMapItPasses(b *testing.B) {
 	e := env(b)
 	for _, passes := range []int{1, 3} {
 		b.Run(fmt.Sprintf("passes-%d", passes), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := e.MapItOpts()
 			opts.Passes = passes
 			for i := 0; i < b.N; i++ {
@@ -297,6 +346,7 @@ func BenchmarkAblationBattleForNet(b *testing.B) {
 	e := env(b)
 	for _, battle := range []bool{false, true} {
 		b.Run(fmt.Sprintf("battle-%v", battle), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := platform.DefaultCollect()
 			cfg.Tests = 500
 			cfg.BattleForNet = battle
@@ -315,6 +365,7 @@ func BenchmarkAblationBattleForNet(b *testing.B) {
 func BenchmarkCongestionReport(b *testing.B) {
 	e := env(b)
 	cfg := report.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := report.Build(e, cfg); len(r.Findings) == 0 {
@@ -326,6 +377,7 @@ func BenchmarkCongestionReport(b *testing.B) {
 // BenchmarkStratified regenerates the §4.3-remedy stratification (E19).
 func BenchmarkStratified(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Stratified(e)
@@ -336,6 +388,7 @@ func BenchmarkStratified(b *testing.B) {
 // comparison (includes two fresh campaigns per iteration).
 func BenchmarkBattleForNet(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.BattleForNet(e); err != nil {
@@ -347,6 +400,7 @@ func BenchmarkBattleForNet(b *testing.B) {
 // BenchmarkComponentAblation regenerates E18.
 func BenchmarkComponentAblation(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Ablation(e)
@@ -369,6 +423,7 @@ var engineWorkers = flag.Int("engine.parallel", runtime.GOMAXPROCS(0),
 func BenchmarkRunAllSerial(b *testing.B) {
 	e := env(b)
 	experiments.Fig2(e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out, err := experiments.RunAll(e); err != nil || len(out) == 0 {
@@ -382,6 +437,7 @@ func BenchmarkRunAllSerial(b *testing.B) {
 func BenchmarkRunAllParallel(b *testing.B) {
 	e := env(b)
 	experiments.Fig2(e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out, _, err := experiments.RunParallel(e, *engineWorkers); err != nil || len(out) == 0 {
@@ -411,6 +467,7 @@ func BenchmarkMapItParallel(b *testing.B) {
 	e := env(b)
 	opts := e.MapItOpts()
 	opts.Workers = *engineWorkers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if inf := mapit.Run(e.Corpus.Traces, opts); len(inf.Links) == 0 {

@@ -1,0 +1,215 @@
+package main
+
+// The benchmark baseline emitter: `tputlab bench` measures the hot
+// paths that dominate campaign collection — path resolution, AS-path
+// computation, world generation, and end-to-end corpus collection at
+// small and medium scale — and writes a BENCH_<date>.json snapshot.
+// Committing one snapshot per performance PR gives the repo a
+// comparable trajectory (ns/op, allocs/op, wall time) instead of
+// ad-hoc numbers in commit messages; `benchstat` compares the raw
+// `go test -bench` output between two checkouts when a statistical
+// comparison is needed.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"throughputlab/internal/platform"
+	"throughputlab/internal/routing"
+	"throughputlab/internal/topogen"
+)
+
+// BenchResult is one measured benchmark in the emitted baseline.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CollectionResult is one end-to-end corpus-collection measurement.
+type CollectionResult struct {
+	Scale       string  `json:"scale"`
+	Tests       int     `json:"tests"`
+	Traces      int     `json:"traces"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	TestsPerSec float64 `json:"tests_per_second"`
+}
+
+// Baseline is the full emitted document.
+type Baseline struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks []BenchResult      `json:"benchmarks"`
+	Collection []CollectionResult `json:"collection"`
+	// ResolverCacheHitRates records the resolver cache efficiency over
+	// the medium-scale collection run, as percentages.
+	ResolverCacheHitRates map[string]float64 `json:"resolver_cache_hit_rates"`
+}
+
+func record(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "output path (default BENCH_<date>.json)")
+	note := fs.String("note", "", "free-form note embedded in the baseline")
+	mediumTests := fs.Int("medium-tests", 8000, "corpus size for the medium-scale collection measurement")
+	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the parallel collection measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	date := time.Now().UTC().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	b := &Baseline{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: world generation (small)...")
+	b.Benchmarks = append(b.Benchmarks, record("WorldGeneration/small", testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			topogen.MustGenerate(topogen.SmallConfig())
+		}
+	})))
+
+	w := topogen.MustGenerate(topogen.SmallConfig())
+	households := platform.BuildPopulation(w, 10, 8)
+	servers := w.MLabServers()
+
+	fmt.Fprintln(os.Stderr, "bench: resolver (warm cache)...")
+	b.Benchmarks = append(b.Benchmarks, record("ResolverResolve/warm", testing.Benchmark(func(tb *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			h := households[rng.Intn(len(households))]
+			s := servers[rng.Intn(len(servers))]
+			key := routing.FlowKey(s.Endpoint.Addr, h.Endpoint.Addr, uint32(i))
+			if _, err := w.Resolver.Resolve(s.Endpoint, h.Endpoint, key); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})))
+
+	fmt.Fprintln(os.Stderr, "bench: resolver (cache disabled)...")
+	uncached := routing.New(w.Topo, w.Routes)
+	uncached.DisableCache()
+	b.Benchmarks = append(b.Benchmarks, record("ResolverResolve/uncached", testing.Benchmark(func(tb *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			h := households[rng.Intn(len(households))]
+			s := servers[rng.Intn(len(servers))]
+			key := routing.FlowKey(s.Endpoint.Addr, h.Endpoint.Addr, uint32(i))
+			if _, err := uncached.Resolve(s.Endpoint, h.Endpoint, key); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})))
+
+	fmt.Fprintln(os.Stderr, "bench: AS-path computation...")
+	asns := w.Topo.ASNs()
+	b.Benchmarks = append(b.Benchmarks, record("BGPPath", testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			src := asns[i%len(asns)]
+			dst := asns[(i*7+3)%len(asns)]
+			w.Routes.Path(src, dst)
+		}
+	})))
+
+	fmt.Fprintln(os.Stderr, "bench: corpus collection (small, serial)...")
+	smallCfg := platform.DefaultCollect()
+	smallCfg.Tests = 2000
+	smallCfg.PerPoolClients = 10
+	b.Benchmarks = append(b.Benchmarks, record("CorpusCollection/small", testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := platform.Collect(w, smallCfg); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})))
+
+	// End-to-end wall-time measurements on fresh worlds, so cold-cache
+	// warm-up is included exactly once per scale.
+	for _, scale := range []struct {
+		name  string
+		cfg   topogen.Config
+		tests int
+	}{
+		{"small", topogen.SmallConfig(), 2000},
+		{"medium", topogen.DefaultConfig(), *mediumTests},
+	} {
+		fmt.Fprintf(os.Stderr, "bench: end-to-end collection (%s, %d tests, %d workers)...\n",
+			scale.name, scale.tests, *workers)
+		fw := topogen.MustGenerate(scale.cfg)
+		cfg := platform.DefaultCollect()
+		cfg.Tests = scale.tests
+		start := time.Now()
+		corpus, err := platform.CollectParallel(fw, cfg, *workers)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start).Seconds()
+		b.Collection = append(b.Collection, CollectionResult{
+			Scale: scale.name, Tests: len(corpus.Tests), Traces: len(corpus.Traces),
+			Workers: *workers, WallSeconds: wall,
+			TestsPerSec: float64(len(corpus.Tests)) / wall,
+		})
+		if scale.name == "medium" {
+			st := fw.Resolver.Stats()
+			rate := func(h, m uint64) float64 {
+				if h+m == 0 {
+					return 0
+				}
+				return 100 * float64(h) / float64(h+m)
+			}
+			b.ResolverCacheHitRates = map[string]float64{
+				"segment": rate(st.SegmentHits, st.SegmentMisses),
+				"inter":   rate(st.InterHits, st.InterMisses),
+				"aspath":  rate(st.ASPathHits, st.ASPathMisses),
+			}
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	return nil
+}

@@ -5,6 +5,7 @@
 //
 //	tputlab list
 //	tputlab run <experiment>|all [-scale small|default|large] [-seed N] [-tests N] [-parallel N]
+//	tputlab bench [-out FILE] [-note TEXT]
 //
 // Example:
 //
@@ -44,6 +45,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tputlab:", err)
 			os.Exit(1)
 		}
+	case "bench":
+		if err := benchCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tputlab:", err)
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -58,6 +64,7 @@ func usage() {
   tputlab list                                  show available experiments
   tputlab run <name>|all [flags]                regenerate a table/figure
   tputlab report [flags]                        caveat-annotated congestion report (§7 checklist)
+  tputlab bench [-out FILE] [-note TEXT]        write a BENCH_<date>.json performance baseline
 
 flags for run/report:
   -scale small|default|large   topology/corpus scale (default "default")

@@ -305,23 +305,44 @@ func (r *Routes) PathLen(src, dst topology.ASN) int {
 }
 
 // Path returns the AS-level path from src to dst inclusive, or nil when
-// unreachable.
+// unreachable. The result is exactly one allocation: PathLen's distance
+// table already knows the hop count, so the walk sizes the slice up
+// front and follows the next-hop rows directly instead of re-resolving
+// both endpoints through NextHop at every step.
 func (r *Routes) Path(src, dst topology.ASN) []topology.ASN {
-	if !r.HasRoute(src, dst) {
+	return r.AppendPath(nil, src, dst)
+}
+
+// AppendPath appends the AS-level path from src to dst inclusive to
+// buf and returns the extended slice, or nil when unreachable. A nil
+// buf allocates exactly once, pre-sized from the distance table.
+func (r *Routes) AppendPath(buf []topology.ASN, src, dst topology.ASN) []topology.ASN {
+	si, ok1 := r.idx[src]
+	di, ok2 := r.idx[dst]
+	if !ok1 || !ok2 {
 		return nil
 	}
-	path := []topology.ASN{src}
-	cur := src
-	for cur != dst {
-		next, ok := r.NextHop(cur, dst)
-		if !ok {
+	if si == di {
+		return append(buf, src)
+	}
+	if r.class[di][si] == ClassNone {
+		return nil
+	}
+	row := r.nextHop[di]
+	if buf == nil {
+		buf = make([]topology.ASN, 0, int(r.dist[di][si])+1)
+	}
+	out := append(buf, src)
+	for cur := si; cur != di; {
+		nh := row[cur]
+		if nh < 0 {
 			return nil
 		}
-		path = append(path, next)
-		cur = next
-		if len(path) > maxDist {
+		out = append(out, r.asns[nh])
+		cur = int(nh)
+		if len(out) > maxDist {
 			return nil // defensive: should be impossible
 		}
 	}
-	return path
+	return out
 }

@@ -91,7 +91,7 @@ func NewEnv(opts Options) (*Env, error) {
 func (e *Env) MapItOpts() mapit.Opts {
 	w := e.World
 	return mapit.Opts{
-		Workers: e.Opts.workers(),
+		Workers:   e.Opts.workers(),
 		Prefix2AS: w.Topo.OriginOf,
 		IsIXP: func(a netaddr.Addr) bool {
 			for _, p := range w.Topo.IXPPrefixes {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"throughputlab/internal/routing"
 )
 
 // ExperimentStat records the cost of one experiment inside a
@@ -29,6 +31,13 @@ type RunStats struct {
 	Wall time.Duration
 	// Experiments holds per-experiment costs in registry order.
 	Experiments []ExperimentStat
+	// Resolver is the world resolver's cumulative cache/fallback
+	// counters at the end of the sweep (world generation, corpus
+	// collection, and the experiments all resolve through it). A
+	// nonzero CoreFallbacks means some AS was routed through a metro it
+	// has no presence in — a topology bug the metro-keyed caches would
+	// otherwise mask.
+	Resolver routing.Stats
 }
 
 // Summary renders the stats as a small table, slowest experiment
@@ -51,6 +60,18 @@ func (s *RunStats) Summary() string {
 		fmt.Fprintf(&sb, "  %-12s %8.3fs  %8.1f MB\n",
 			st.Name, st.Wall.Seconds(), float64(st.AllocBytes)/(1<<20))
 	}
+	rs := s.Resolver
+	hitRate := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(&sb, "resolver caches: segment %.1f%% inter %.1f%% aspath %.1f%% hit; core fallbacks %d\n",
+		hitRate(rs.SegmentHits, rs.SegmentMisses),
+		hitRate(rs.InterHits, rs.InterMisses),
+		hitRate(rs.ASPathHits, rs.ASPathMisses),
+		rs.CoreFallbacks)
 	return sb.String()
 }
 
@@ -112,7 +133,7 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 	}
 	wg.Wait()
 
-	stats := &RunStats{Workers: workers}
+	stats := &RunStats{Workers: workers, Resolver: e.World.Resolver.Stats()}
 	var sb strings.Builder
 	for i := range slots {
 		stats.Experiments = append(stats.Experiments, slots[i].stat)

@@ -1,0 +1,49 @@
+package geo
+
+// DelayMatrix is a precomputed metro-pair propagation-delay table.
+// Path resolution scores every interdomain link candidate with two
+// propagation delays and every hop of every RTT estimate with one, so
+// at campaign scale the Haversine trigonometry in PropagationDelayMs
+// dominates; the matrix computes each pair once and serves the exact
+// same float64 afterwards, keeping cached and uncached resolution
+// byte-identical.
+type DelayMatrix struct {
+	idx map[string]int
+	n   int
+	// d is the row-major n×n delay table; d[i*n+j] ==
+	// PropagationDelayMs(metros[i], metros[j]).
+	d []float64
+}
+
+// NewDelayMatrix builds the matrix over the given metros. Metro codes
+// must be unique (the topology already guarantees this).
+func NewDelayMatrix(metros []Metro) *DelayMatrix {
+	n := len(metros)
+	m := &DelayMatrix{
+		idx: make(map[string]int, n),
+		n:   n,
+		d:   make([]float64, n*n),
+	}
+	for i, mt := range metros {
+		m.idx[mt.Code] = i
+	}
+	for i := range metros {
+		for j := range metros {
+			m.d[i*n+j] = PropagationDelayMs(metros[i], metros[j])
+		}
+	}
+	return m
+}
+
+// Len returns the number of metros covered.
+func (m *DelayMatrix) Len() int { return m.n }
+
+// Index returns the matrix index of a metro code.
+func (m *DelayMatrix) Index(code string) (int, bool) {
+	i, ok := m.idx[code]
+	return i, ok
+}
+
+// At returns the one-way propagation delay between the metros at
+// indices i and j, identical to PropagationDelayMs on the originals.
+func (m *DelayMatrix) At(i, j int) float64 { return m.d[i*m.n+j] }

@@ -1,0 +1,48 @@
+package geo
+
+import "testing"
+
+func matrixMetros() []Metro {
+	return []Metro{
+		{Code: "atl", Name: "Atlanta", Lat: 33.75, Lon: -84.39, UTCOffset: -5},
+		{Code: "nyc", Name: "New York", Lat: 40.71, Lon: -74.01, UTCOffset: -5},
+		{Code: "lax", Name: "Los Angeles", Lat: 34.05, Lon: -118.24, UTCOffset: -8},
+		{Code: "lhr", Name: "London", Lat: 51.47, Lon: -0.45, UTCOffset: 0},
+	}
+}
+
+// TestDelayMatrixMatchesPropagationDelay pins the byte-identity
+// contract: every matrix entry is the exact float64 PropagationDelayMs
+// returns for that pair, in both orders.
+func TestDelayMatrixMatchesPropagationDelay(t *testing.T) {
+	metros := matrixMetros()
+	m := NewDelayMatrix(metros)
+	if m.Len() != len(metros) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(metros))
+	}
+	for i, a := range metros {
+		ai, ok := m.Index(a.Code)
+		if !ok || ai != i {
+			t.Fatalf("Index(%q) = %d,%v, want %d,true", a.Code, ai, ok, i)
+		}
+		for j, b := range metros {
+			want := PropagationDelayMs(a, b)
+			if got := m.At(i, j); got != want {
+				t.Errorf("At(%s,%s) = %v, want %v", a.Code, b.Code, got, want)
+			}
+		}
+	}
+	if _, ok := m.Index("zzz"); ok {
+		t.Error("Index of unknown code reported ok")
+	}
+}
+
+func TestDelayMatrixLocalConstant(t *testing.T) {
+	metros := matrixMetros()
+	m := NewDelayMatrix(metros)
+	for i := range metros {
+		if got := m.At(i, i); got != 0.2 {
+			t.Errorf("same-metro delay = %v, want 0.2", got)
+		}
+	}
+}

@@ -138,8 +138,21 @@ func (r *Runner) Run(id int, client routing.Endpoint, clientISP string, tierMbps
 	if dres.Bottleneck != nil {
 		test.TruthBottleneck = dres.Bottleneck.ID
 	}
-	for _, l := range down.InterdomainLinks() {
-		test.TruthInterLinks = append(test.TruthInterLinks, l.ID)
+	// Collect interdomain link IDs directly (counting first) rather
+	// than materializing the *Link slice InterdomainLinks would build.
+	n := 0
+	for _, l := range down.Links {
+		if l.Kind == topology.LinkInterdomain {
+			n++
+		}
+	}
+	if n > 0 {
+		test.TruthInterLinks = make([]topology.LinkID, 0, n)
+		for _, l := range down.Links {
+			if l.Kind == topology.LinkInterdomain {
+				test.TruthInterLinks = append(test.TruthInterLinks, l.ID)
+			}
+		}
 	}
 	return test, nil
 }

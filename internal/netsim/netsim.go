@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"throughputlab/internal/geo"
 	"throughputlab/internal/routing"
 	"throughputlab/internal/topology"
 )
@@ -31,20 +32,65 @@ func DiurnalShape(localHour float64) float64 {
 type Model struct {
 	topo *topology.Topology
 	rv   *routing.Resolver
+	// linkMetro caches each link's metro by dense link ID, replacing a
+	// string-keyed map lookup on every utilization evaluation.
+	linkMetro []geo.Metro
 }
 
 // New builds a Model.
 func New(t *topology.Topology, rv *routing.Resolver) *Model {
-	return &Model{topo: t, rv: rv}
+	m := &Model{topo: t, rv: rv}
+	maxID := topology.LinkID(-1)
+	for _, l := range t.Links() {
+		if l.ID > maxID {
+			maxID = l.ID
+		}
+	}
+	m.linkMetro = make([]geo.Metro, maxID+1)
+	for _, l := range t.Links() {
+		m.linkMetro[l.ID] = t.MustMetro(l.Metro)
+	}
+	return m
+}
+
+// metroOf returns the link's metro from the dense cache, falling back
+// to the topology for links the model was not built over (tests that
+// synthesize links by hand).
+func (m *Model) metroOf(l *topology.Link) geo.Metro {
+	if int(l.ID) < len(m.linkMetro) && m.linkMetro[l.ID].Code == l.Metro {
+		return m.linkMetro[l.ID]
+	}
+	return m.topo.MustMetro(l.Metro)
 }
 
 // LinkUtil returns the background demand/capacity ratio ρ of the link
 // at the given simulation minute (values above 1 mean offered load
 // exceeds capacity at that hour).
 func (m *Model) LinkUtil(l *topology.Link, minute int) float64 {
-	metro := m.topo.MustMetro(l.Metro)
+	metro := m.metroOf(l)
 	shape := DiurnalShape(metro.LocalHour(minute))
 	return l.BaseUtil + (l.PeakUtil-l.BaseUtil)*shape
+}
+
+// shapeMemo caches DiurnalShape per UTC offset within one flow
+// evaluation: every link on a path is evaluated at the same minute, so
+// links sharing a timezone share the shape value exactly. Offsets
+// outside the table (|off| > 13) fall through to a direct computation.
+type shapeMemo struct {
+	set [28]bool
+	v   [28]float64
+}
+
+func (s *shapeMemo) at(metro geo.Metro, minute int) float64 {
+	i := metro.UTCOffset + 13
+	if i < 0 || i >= len(s.v) {
+		return DiurnalShape(metro.LocalHour(minute))
+	}
+	if !s.set[i] {
+		s.v[i] = DiurnalShape(metro.LocalHour(minute))
+		s.set[i] = true
+	}
+	return s.v[i]
 }
 
 // perFlowShareMbps is the rate one more bulk flow achieves on the link
@@ -215,8 +261,10 @@ func (m *Model) BulkFlow(p *routing.Path, minute int, opts FlowOpts, rng *rand.R
 	queueMs := 0.0
 	maxRho := 0.0
 	var bottleneck, hottest *topology.Link
+	var shapes shapeMemo
 	for _, l := range p.Links {
-		rho := m.LinkUtil(l, minute)
+		shape := shapes.at(m.metroOf(l), minute)
+		rho := l.BaseUtil + (l.PeakUtil-l.BaseUtil)*shape
 		a := perFlowShareMbps(l.CapacityMbps, rho)
 		if a < avail {
 			avail, bottleneck = a, l

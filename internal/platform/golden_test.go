@@ -1,0 +1,26 @@
+package platform
+
+import "testing"
+
+// seedCorpusHash is the corpus FNV hash of the small-scale campaign
+// (SmallConfig world, smallCollect config) measured before the
+// resolver memoization layer landed. The caches, the delay matrix, the
+// weighted samplers, and every hot-path allocation cut must leave the
+// corpus byte-identical, so this constant must never change for
+// performance work; it moves only when the model itself intentionally
+// changes.
+const seedCorpusHash = 0x62321200631590a1
+
+// TestCorpusGoldenSeedHash pins the collected corpus — with the cached
+// resolver, at several worker counts — to the pre-caching seed hash.
+func TestCorpusGoldenSeedHash(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		c, err := CollectParallel(world, smallCollect(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := corpusHash(c); got != seedCorpusHash {
+			t.Errorf("corpus hash with %d workers = %#x, want seed %#x", workers, got, seedCorpusHash)
+		}
+	}
+}

@@ -63,6 +63,30 @@ func BuildPopulation(w *topogen.World, perPoolClients int, seed int64) []Househo
 	return out
 }
 
+// popCache memoizes the most recent BuildPopulation result.
+// BuildPopulation is pure, so repeated campaigns over one world
+// (ablation sweeps, the Battle-for-the-Net comparison, benchmarks)
+// can share the slice; it is read-only during collection. One entry
+// bounds the retained memory to a single population.
+var popCache struct {
+	sync.Mutex
+	w       *topogen.World
+	clients int
+	seed    int64
+	pop     []Household
+}
+
+func population(w *topogen.World, perPoolClients int, seed int64) []Household {
+	popCache.Lock()
+	defer popCache.Unlock()
+	if popCache.w == w && popCache.clients == perPoolClients && popCache.seed == seed {
+		return popCache.pop
+	}
+	pop := BuildPopulation(w, perPoolClients, seed)
+	popCache.w, popCache.clients, popCache.seed, popCache.pop = w, perPoolClients, seed, pop
+	return pop
+}
+
 // DefaultShards is the number of RNG shards a campaign is split into
 // when CollectConfig.Shards is zero. The shard count is part of the
 // corpus identity: (Seed, Shards) fully determine the corpus, and the
@@ -150,28 +174,67 @@ func shardSeed(seed int64, shard int) int64 {
 	return int64(uint64(seed) + uint64(shard+1)*0x9E3779B97F4A7C15)
 }
 
+// scheduleCtx is the shared read-only state of one campaign's
+// scheduling phase: the household population with its precomputed
+// samplers, and the per-metro nearest-site lists (NearestMLabSite
+// re-sorted all sites per arrival before; every shard now reads the
+// same precomputed slices).
+type scheduleCtx struct {
+	households  []Household
+	hhSampler   *stats.WeightedSampler
+	hourSampler *stats.WeightedSampler
+	// sites maps a metro to its candidate M-Lab sites under the
+	// campaign's selection mode (slack 6 ms for BattleForNet, the
+	// single nearest tier otherwise).
+	sites map[string][]*topogen.MLabSite
+}
+
+// newScheduleCtx precomputes the campaign's scheduling state. The
+// per-metro site lists are exactly NearestMLabSite's output, so the
+// schedule draws are unchanged.
+func newScheduleCtx(w *topogen.World, cfg CollectConfig, households []Household,
+	hw []float64, hourW *[24]float64) *scheduleCtx {
+
+	ctx := &scheduleCtx{
+		households:  households,
+		hhSampler:   stats.NewWeightedSampler(hw),
+		hourSampler: stats.NewWeightedSampler(hourW[:]),
+		sites:       make(map[string][]*topogen.MLabSite),
+	}
+	slack := 0.0
+	if cfg.BattleForNet {
+		slack = 6
+	}
+	for _, h := range households {
+		m := h.Endpoint.Metro
+		if _, ok := ctx.sites[m]; !ok {
+			ctx.sites[m] = w.NearestMLabSite(m, slack)
+		}
+	}
+	return ctx
+}
+
 // scheduleShard draws the arrivals of one shard: tests [first,
 // first+count) of the campaign, scheduled from the shard's own RNG
 // stream.
-func scheduleShard(w *topogen.World, cfg CollectConfig, households []Household,
-	hw []float64, hourW *[24]float64, shard, count int) []arrival {
+func scheduleShard(w *topogen.World, cfg CollectConfig, ctx *scheduleCtx,
+	shard, count int) []arrival {
 
 	rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, shard)))
 	out := make([]arrival, 0, count)
 	for n := 0; n < count; n++ {
-		hi := stats.WeightedChoice(hw, rng)
-		h := households[hi]
+		hi := ctx.hhSampler.Pick(rng)
+		h := ctx.households[hi]
 		metro := w.Topo.MustMetro(h.Endpoint.Metro)
-		localH := stats.WeightedChoice(hourW[:], rng)
+		localH := ctx.hourSampler.Pick(rng)
 		day := rng.Intn(cfg.Days)
 		utcH := ((localH-metro.UTCOffset)%24 + 24) % 24
 		minute := day*1440 + utcH*60 + rng.Intn(60)
 
-		sites := w.NearestMLabSite(h.Endpoint.Metro, 0)
+		sites := ctx.sites[h.Endpoint.Metro]
 		if cfg.BattleForNet {
 			// The Battle-for-the-Net wrapper tests back-to-back against
 			// up to five servers in the region (§2.2).
-			sites = w.NearestMLabSite(h.Endpoint.Metro, 6)
 			if len(sites) > 5 {
 				sites = sites[:5]
 			}
@@ -217,7 +280,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	if workers < 1 {
 		workers = 1
 	}
-	households := BuildPopulation(w, cfg.PerPoolClients, cfg.Seed+1)
+	households := population(w, cfg.PerPoolClients, cfg.Seed+1)
 	runner := ndt.NewRunner(w)
 	tracer := traceroute.New(w.Topo, w.Resolver, cfg.Artifacts)
 
@@ -247,15 +310,20 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	// Phase 1 — scheduling, parallel over shards. Shard s draws
 	// Tests/shards arrivals (the first Tests%shards shards draw one
 	// more) from its own stream.
+	sctx := newScheduleCtx(w, cfg, households, hw, &hourW)
 	perShard := make([][]arrival, shards)
 	runIndexed(shards, workers, func(s int) {
 		count := cfg.Tests / shards
 		if s < cfg.Tests%shards {
 			count++
 		}
-		perShard[s] = scheduleShard(w, cfg, households, hw, &hourW, s, count)
+		perShard[s] = scheduleShard(w, cfg, sctx, s, count)
 	})
-	var schedule []arrival
+	total := 0
+	for _, sh := range perShard {
+		total += len(sh)
+	}
+	schedule := make([]arrival, 0, total)
 	for _, sh := range perShard {
 		schedule = append(schedule, sh...)
 	}
@@ -268,10 +336,19 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	// order, deciding per arrival whether its traceroute launches and
 	// when. This is pure integer bookkeeping and stays serial.
 	launches := make([]int, len(schedule)) // launch minute, -1 = collector busy
-	busyUntil := map[string]int{}
+	// The busy table is dense: site pointers index into one slot per
+	// server (all sites live in w.MLabSites, so the pointer map is
+	// exact), replacing a per-arrival string-keyed map lookup.
+	siteOff := make(map[*topogen.MLabSite]int, len(w.MLabSites))
+	nServers := 0
+	for i := range w.MLabSites {
+		siteOff[&w.MLabSites[i]] = nServers
+		nServers += len(w.MLabSites[i].Servers)
+	}
+	busyUntil := make([]int, nServers)
 	for id, a := range schedule {
-		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
-		if busyUntil[server.Name] > a.minute {
+		srv := siteOff[a.site] + int(a.entropy)%len(a.site.Servers)
+		if busyUntil[srv] > a.minute {
 			launches[id] = -1
 			continue
 		}
@@ -284,22 +361,31 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		if launch < 0 {
 			launch = 0
 		}
-		busyUntil[server.Name] = launch + cfg.TracerouteDurationMin
+		busyUntil[srv] = launch + cfg.TracerouteDurationMin
 		launches[id] = launch
 	}
 
 	// Phase 3 — execution, parallel over arrivals. Each arrival runs
 	// its NDT test and (when scheduled) its traceroute against a
 	// private RNG seeded during scheduling, so results land in fixed
-	// slots regardless of which worker computes them.
+	// slots regardless of which worker computes them. Each worker owns
+	// one Rand and re-Seeds it per arrival: Seed(s) leaves the generator
+	// in exactly the NewSource(s) state, so the draws are unchanged but
+	// the ~5 KB source allocation happens once per worker instead of
+	// once per arrival (it was the campaign's largest allocation site).
 	tests := make([]*ndt.Test, len(schedule))
 	traces := make([]*traceroute.Trace, len(schedule))
 	errs := make([]error, len(schedule))
-	runIndexed(len(schedule), workers, func(id int) {
+	workerRNGs := make([]*rand.Rand, workers)
+	for i := range workerRNGs {
+		workerRNGs[i] = rand.New(rand.NewSource(0))
+	}
+	runIndexedWorkers(len(schedule), workers, func(worker, id int) {
 		a := schedule[id]
 		h := households[a.hh]
 		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
-		rng := rand.New(rand.NewSource(a.rngSeed))
+		rng := workerRNGs[worker]
+		rng.Seed(a.rngSeed)
 		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
 			server, a.minute, a.entropy, rng)
 		if err != nil {
@@ -324,6 +410,13 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	}
 
 	corpus := &Corpus{Tests: tests}
+	nTraces := 0
+	for _, tr := range traces {
+		if tr != nil {
+			nTraces++
+		}
+	}
+	corpus.Traces = make([]*traceroute.Trace, 0, nTraces)
 	for id, tr := range traces {
 		if tr != nil {
 			corpus.Traces = append(corpus.Traces, tr)
@@ -337,12 +430,19 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 // runIndexed invokes fn(i) for every i in [0, n), spread over up to
 // workers goroutines. With one worker it runs inline.
 func runIndexed(n, workers int, fn func(i int)) {
+	runIndexedWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// runIndexedWorkers is runIndexed with the executing worker's index
+// passed through, so callers can reuse per-worker scratch state (each
+// worker index runs on exactly one goroutine at a time).
+func runIndexedWorkers(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -350,16 +450,16 @@ func runIndexed(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,164 @@
+package routing_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"throughputlab/internal/platform"
+	"throughputlab/internal/routing"
+	"throughputlab/internal/topogen"
+)
+
+// pathFingerprint digests every field of a resolved path that
+// downstream consumers (netsim, traceroute, ndt ground truth) read, in
+// the style of the platform corpus hash: two paths fingerprint equal
+// only if they are observably identical.
+func pathFingerprint(rv *routing.Resolver, p *routing.Path) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "src=%d dst=%d rtt=%.9g\n", uint32(p.Src.Addr), uint32(p.Dst.Addr), rv.RTTms(p))
+	for _, hop := range p.Hops {
+		fmt.Fprintf(h, "h %d", hop.Router.ID)
+		if hop.InLink != nil {
+			fmt.Fprintf(h, " l%d", hop.InLink.ID)
+		}
+		if hop.Ingress != nil {
+			fmt.Fprintf(h, " i%d", uint32(hop.Ingress.Addr))
+		}
+		fmt.Fprintln(h)
+	}
+	for _, l := range p.Links {
+		fmt.Fprintf(h, "L %d %d\n", l.ID, l.Kind)
+	}
+	for _, asn := range p.ASPath {
+		fmt.Fprintf(h, "a %d\n", asn)
+	}
+	for _, l := range p.InterdomainLinks() {
+		fmt.Fprintf(h, "x %d\n", l.ID)
+	}
+	return h.Sum64()
+}
+
+// abEndpoints draws a deterministic sample of (src, dst, flowKey)
+// resolution requests over a world: server→client and client→server
+// pairs, the two shapes every NDT test and traceroute resolves.
+type abCase struct {
+	src, dst routing.Endpoint
+	key      uint64
+}
+
+func abCases(w *topogen.World, seed int64, n int) []abCase {
+	rng := rand.New(rand.NewSource(seed))
+	households := platform.BuildPopulation(w, 3, seed)
+	servers := w.MLabServers()
+	out := make([]abCase, 0, 2*n)
+	for i := 0; i < n; i++ {
+		h := households[rng.Intn(len(households))]
+		s := servers[rng.Intn(len(servers))]
+		entropy := rng.Uint32()
+		down := routing.FlowKey(s.Endpoint.Addr, h.Endpoint.Addr, entropy)
+		up := routing.FlowKey(h.Endpoint.Addr, s.Endpoint.Addr, entropy)
+		out = append(out,
+			abCase{src: s.Endpoint, dst: h.Endpoint, key: down},
+			abCase{src: h.Endpoint, dst: s.Endpoint, key: up})
+	}
+	return out
+}
+
+// TestCachedResolverByteIdentical is the memoization layer's identity
+// contract: for random worlds, endpoints, and flow keys, the cached
+// resolver produces paths observably identical to a cache-disabled
+// resolver — resolved twice, so the second pass also exercises warm
+// cache hits against the cold fingerprints.
+func TestCachedResolverByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := topogen.SmallConfig()
+		cfg.Seed = seed
+		w := topogen.MustGenerate(cfg)
+		cached := w.Resolver // topogen builds the caching resolver
+		uncached := routing.New(w.Topo, w.Routes)
+		uncached.DisableCache()
+
+		cases := abCases(w, seed*1000+13, 150)
+		for pass := 0; pass < 2; pass++ {
+			for i, c := range cases {
+				pc, errC := cached.Resolve(c.src, c.dst, c.key)
+				pu, errU := uncached.Resolve(c.src, c.dst, c.key)
+				if (errC == nil) != (errU == nil) {
+					t.Fatalf("seed %d case %d: cached err=%v uncached err=%v", seed, i, errC, errU)
+				}
+				if errC != nil {
+					continue
+				}
+				if got, want := pathFingerprint(cached, pc), pathFingerprint(uncached, pu); got != want {
+					t.Fatalf("seed %d pass %d case %d (%d->%d key %d): cached path %#x != uncached %#x",
+						seed, pass, i, c.src.Addr, c.dst.Addr, c.key, got, want)
+				}
+			}
+		}
+		st := cached.Stats()
+		if st.SegmentHits == 0 || st.InterHits == 0 || st.ASPathHits == 0 {
+			t.Errorf("seed %d: expected warm-cache hits, got %+v", seed, st)
+		}
+		if ust := uncached.Stats(); ust.SegmentHits+ust.SegmentMisses+ust.InterHits+ust.ASPathHits != 0 {
+			t.Errorf("seed %d: cache-disabled resolver recorded cache traffic: %+v", seed, ust)
+		}
+	}
+}
+
+// TestResolverConcurrentWarmup exercises cold-cache warm-up under
+// concurrent Resolve calls (run with -race): many goroutines resolve
+// an overlapping request set against a fresh resolver, and every
+// result must match the serial uncached resolution.
+func TestResolverConcurrentWarmup(t *testing.T) {
+	w := topogen.MustGenerate(topogen.SmallConfig())
+	fresh := routing.New(w.Topo, w.Routes)
+	uncached := routing.New(w.Topo, w.Routes)
+	uncached.DisableCache()
+
+	cases := abCases(w, 99, 120)
+	want := make([]uint64, len(cases))
+	for i, c := range cases {
+		p, err := uncached.Resolve(c.src, c.dst, c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pathFingerprint(uncached, p)
+	}
+
+	const goroutines = 8
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the cases from a different offset so
+			// cold keys are hit from several goroutines at once.
+			for i := range cases {
+				c := cases[(i+g*17)%len(cases)]
+				p, err := fresh.Resolve(c.src, c.dst, c.key)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got := pathFingerprint(fresh, p); got != want[(i+g*17)%len(cases)] {
+					errs[g] = fmt.Errorf("goroutine %d: path fingerprint mismatch at case %d", g, (i+g*17)%len(cases))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fresh.Stats()
+	if st.SegmentMisses == 0 || st.SegmentHits == 0 {
+		t.Errorf("expected both misses and hits after concurrent warm-up, got %+v", st)
+	}
+}

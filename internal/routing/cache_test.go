@@ -1,0 +1,51 @@
+package routing
+
+import "testing"
+
+// TestCoreFallbackCounted pins the resolver stats counter for coreAt's
+// any-router fallback: an AS asked for a metro it has no presence in
+// must be visible in Stats, not silently absorbed.
+func TestCoreFallbackCounted(t *testing.T) {
+	n := buildTestNet(t)
+	if got := n.rv.Stats().CoreFallbacks; got != 0 {
+		t.Fatalf("fresh resolver CoreFallbacks = %d, want 0", got)
+	}
+	r, err := n.rv.coreAt(200, "no-such-metro")
+	if err != nil || r == nil {
+		t.Fatalf("coreAt fallback: %v, %v", r, err)
+	}
+	if r.ID != n.rv.anyRouter[200].ID {
+		t.Errorf("fallback router = %d, want anyRouter %d", r.ID, n.rv.anyRouter[200].ID)
+	}
+	if got := n.rv.Stats().CoreFallbacks; got != 1 {
+		t.Errorf("CoreFallbacks after fallback = %d, want 1", got)
+	}
+	// A metro the AS is present in must not count.
+	if _, err := n.rv.coreAt(200, "atl"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.rv.Stats().CoreFallbacks; got != 1 {
+		t.Errorf("CoreFallbacks after present-metro lookup = %d, want 1", got)
+	}
+}
+
+// TestSegmentCacheReused verifies that repeated resolution of one pair
+// serves the intra-AS segment and interdomain choice from cache.
+func TestSegmentCacheReused(t *testing.T) {
+	n := buildTestNet(t)
+	for i := 0; i < 5; i++ {
+		if _, err := n.rv.Resolve(n.server, n.clientNYC, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.rv.Stats()
+	if st.SegmentHits == 0 {
+		t.Errorf("no segment cache hits after repeated resolves: %+v", st)
+	}
+	if st.InterHits == 0 {
+		t.Errorf("no interdomain cache hits after repeated resolves: %+v", st)
+	}
+	if st.ASPathHits == 0 {
+		t.Errorf("no AS-path cache hits after repeated resolves: %+v", st)
+	}
+}

@@ -10,6 +10,11 @@
 // near-ties and parallel links broken by a per-flow hash — the
 // load-balancing behaviour Paris traceroute is designed to hold fixed
 // within one trace (§3).
+//
+// Resolution is memoized (see cache.go): intra-AS segments, scored
+// interdomain near-tie sets, and AS-level paths are each computed once
+// per key and shared afterwards, so repeated resolution over one world
+// is near-free. The caches never change results — only their cost.
 package routing
 
 import (
@@ -54,14 +59,24 @@ type Path struct {
 	// Links are all capacity-bearing links traversed in order,
 	// including the endpoints' access lines when present.
 	Links []*topology.Link
-	// ASPath is the AS-level path from bgp.
+	// ASPath is the AS-level path from bgp. The slice is shared with
+	// the resolver's AS-path cache and must not be mutated.
 	ASPath []topology.ASN
 }
 
 // InterdomainLinks returns the interdomain links the path traverses, in
 // order.
 func (p *Path) InterdomainLinks() []*topology.Link {
-	var out []*topology.Link
+	n := 0
+	for _, l := range p.Links {
+		if l.Kind == topology.LinkInterdomain {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*topology.Link, 0, n)
 	for _, l := range p.Links {
 		if l.Kind == topology.LinkInterdomain {
 			out = append(out, l)
@@ -85,6 +100,19 @@ type Resolver struct {
 	cores map[topology.ASN]map[string]*topology.Router
 	// anyRouter is a deterministic fallback router per AS.
 	anyRouter map[topology.ASN]*topology.Router
+
+	// delays is the precomputed metro-pair propagation-delay matrix;
+	// routerMetro maps dense router IDs to matrix indices (-1 when the
+	// router's metro is unknown, which MustMetro then reports).
+	delays      *geo.DelayMatrix
+	routerMetro []int32
+
+	// cache memoizes segments, interdomain choices, and AS paths;
+	// noCache (set by DisableCache) routes every lookup through the
+	// compute path, for A/B identity tests.
+	cache    *resolverCache
+	counters resolverCounters
+	noCache  bool
 }
 
 // New builds a Resolver over the topology and its routes.
@@ -96,7 +124,10 @@ func New(t *topology.Topology, r *bgp.Routes) *Resolver {
 		intraLinks: make(map[[2]topology.RouterID][]*topology.Link),
 		cores:      make(map[topology.ASN]map[string]*topology.Router),
 		anyRouter:  make(map[topology.ASN]*topology.Router),
+		delays:     geo.NewDelayMatrix(t.Metros),
+		cache:      newResolverCache(),
 	}
+	maxID := topology.RouterID(-1)
 	for _, l := range t.Links() {
 		switch l.Kind {
 		case topology.LinkInterdomain:
@@ -115,6 +146,9 @@ func New(t *topology.Topology, r *bgp.Routes) *Resolver {
 			if rv.anyRouter[asn] == nil {
 				rv.anyRouter[asn] = rt
 			}
+			if rt.ID > maxID {
+				maxID = rt.ID
+			}
 			if rt.Kind == topology.RouterCore {
 				if _, ok := m[rt.Metro]; !ok {
 					m[rt.Metro] = rt
@@ -130,8 +164,25 @@ func New(t *topology.Topology, r *bgp.Routes) *Resolver {
 		}
 		rv.cores[asn] = m
 	}
+	rv.routerMetro = make([]int32, maxID+1)
+	for i := range rv.routerMetro {
+		rv.routerMetro[i] = -1
+	}
+	for _, asn := range t.ASNs() {
+		for _, rt := range t.AS(asn).Routers {
+			if mi, ok := rv.delays.Index(rt.Metro); ok {
+				rv.routerMetro[rt.ID] = int32(mi)
+			}
+		}
+	}
 	return rv
 }
+
+// DisableCache turns memoization off for this resolver, forcing every
+// Resolve through the compute path. Results are byte-identical either
+// way; this exists so tests can A/B the two. Must be called before the
+// resolver is shared across goroutines.
+func (rv *Resolver) DisableCache() { rv.noCache = true }
 
 func routerPair(a, b topology.RouterID) [2]topology.RouterID {
 	if a > b {
@@ -140,13 +191,36 @@ func routerPair(a, b topology.RouterID) [2]topology.RouterID {
 	return [2]topology.RouterID{a, b}
 }
 
+// metroIdx returns the delay-matrix index of a metro code, with
+// MustMetro's panic semantics for unknown codes.
+func (rv *Resolver) metroIdx(code string) int32 {
+	mi, ok := rv.delays.Index(code)
+	if !ok {
+		rv.topo.MustMetro(code) // panics with the canonical message
+	}
+	return int32(mi)
+}
+
+// routerMetroIdx returns the delay-matrix index of a router's metro.
+func (rv *Resolver) routerMetroIdx(r *topology.Router) int32 {
+	mi := rv.routerMetro[r.ID]
+	if mi < 0 {
+		rv.topo.MustMetro(r.Metro) // panics with the canonical message
+	}
+	return mi
+}
+
 // coreAt returns the AS's core router in the metro, or any router of
-// the AS when it has no presence there.
+// the AS when it has no presence there. The fallback is counted in
+// Stats: metro-keyed cache entries would otherwise silently absorb a
+// topology bug that leaves an AS without presence in a metro its
+// routes cross.
 func (rv *Resolver) coreAt(asn topology.ASN, metro string) (*topology.Router, error) {
 	if r, ok := rv.cores[asn][metro]; ok {
 		return r, nil
 	}
 	if r := rv.anyRouter[asn]; r != nil {
+		rv.counters.coreFallbacks.Add(1)
 		return r, nil
 	}
 	return nil, fmt.Errorf("routing: AS %d has no routers", asn)
@@ -176,11 +250,17 @@ func FlowKey(src, dst netaddr.Addr, entropy uint32) uint64 {
 // Resolve computes the router-level path from src to dst for the given
 // flow key.
 func (rv *Resolver) Resolve(src, dst Endpoint, flowKey uint64) (*Path, error) {
-	asPath := rv.routes.Path(src.ASN, dst.ASN)
+	asPath := rv.asPath(src.ASN, dst.ASN)
 	if asPath == nil {
 		return nil, fmt.Errorf("routing: no AS route %d -> %d", src.ASN, dst.ASN)
 	}
 	p := &Path{Src: src, Dst: dst, ASPath: asPath}
+	// Size for the common shape: ≤4 hops per AS segment plus one
+	// ingress per crossing; links additionally carry up to two access
+	// lines.
+	capHint := 4*len(asPath) + 2
+	p.Hops = make([]Hop, 0, capHint)
+	p.Links = make([]*topology.Link, 0, capHint+2)
 
 	if src.AccessLine != nil {
 		p.Links = append(p.Links, src.AccessLine)
@@ -192,9 +272,13 @@ func (rv *Resolver) Resolve(src, dst Endpoint, flowKey uint64) (*Path, error) {
 	}
 	p.Hops = append(p.Hops, Hop{Router: cur})
 
+	var dstMetro int32
+	if len(asPath) > 1 {
+		dstMetro = rv.metroIdx(dst.Metro)
+	}
 	for i := 1; i < len(asPath); i++ {
 		fromAS, toAS := asPath[i-1], asPath[i]
-		link, err := rv.pickInterLink(fromAS, toAS, cur.Metro, dst.Metro, flowKey)
+		link, err := rv.pickInterLink(fromAS, toAS, rv.routerMetroIdx(cur), dstMetro, flowKey)
 		if err != nil {
 			return nil, err
 		}
@@ -228,48 +312,70 @@ func (rv *Resolver) Resolve(src, dst Endpoint, flowKey uint64) (*Path, error) {
 }
 
 // pickInterLink chooses the interdomain link used to go from fromAS to
-// toAS, given the current metro and the final destination metro.
-func (rv *Resolver) pickInterLink(fromAS, toAS topology.ASN, curMetro, dstMetro string, flowKey uint64) (*topology.Link, error) {
-	links := rv.interLinks[[2]topology.ASN{fromAS, toAS}]
+// toAS, given the current metro and the final destination metro. The
+// scored near-tie set comes from the cache, so a hit reduces to one
+// flow-hash modulus with zero allocations.
+func (rv *Resolver) pickInterLink(fromAS, toAS topology.ASN, curMetro, dstMetro int32, flowKey uint64) (*topology.Link, error) {
+	eq, err := rv.interChoices(interKey{from: fromAS, to: toAS, curMetro: curMetro, dstMetro: dstMetro})
+	if err != nil {
+		return nil, err
+	}
+	return eq[int(flowKey%uint64(len(eq)))], nil
+}
+
+// computeInterChoices scores every interdomain link realizing the AS
+// adjacency and returns the near-tie set, sorted by link ID.
+func (rv *Resolver) computeInterChoices(k interKey) ([]*topology.Link, error) {
+	links := rv.interLinks[[2]topology.ASN{k.from, k.to}]
 	if len(links) == 0 {
-		return nil, fmt.Errorf("routing: no interdomain link %d -> %d", fromAS, toAS)
+		return nil, fmt.Errorf("routing: no interdomain link %d -> %d", k.from, k.to)
 	}
-	cm := rv.topo.MustMetro(curMetro)
-	dm := rv.topo.MustMetro(dstMetro)
-	type scored struct {
-		l *topology.Link
-		c float64
-	}
-	cands := make([]scored, 0, len(links))
+	cost := make([]float64, len(links))
 	best := -1.0
-	for _, l := range links {
-		lm := rv.topo.MustMetro(l.Metro)
-		c := geo.PropagationDelayMs(cm, lm) + geo.PropagationDelayMs(lm, dm)
-		cands = append(cands, scored{l, c})
+	for i, l := range links {
+		lm := rv.metroIdx(l.Metro)
+		c := rv.delays.At(int(k.curMetro), int(lm)) + rv.delays.At(int(lm), int(k.dstMetro))
+		cost[i] = c
 		if best < 0 || c < best {
 			best = c
 		}
 	}
 	// Keep near-ties (parallel links in one metro always tie exactly).
 	const epsilonMs = 0.5
-	eq := cands[:0]
-	for _, s := range cands {
-		if s.c <= best+epsilonMs {
-			eq = append(eq, s)
+	eq := make([]*topology.Link, 0, len(links))
+	for i, l := range links {
+		if cost[i] <= best+epsilonMs {
+			eq = append(eq, l)
 		}
 	}
-	sort.Slice(eq, func(i, j int) bool { return eq[i].l.ID < eq[j].l.ID })
-	return eq[int(flowKey%uint64(len(eq)))].l, nil
+	sort.Slice(eq, func(i, j int) bool { return eq[i].ID < eq[j].ID })
+	return eq, nil
 }
 
 // appendIntra extends the path from router cur to router dst within one
-// AS, via the metro cores.
+// AS, via the metro cores. The hop sequence comes from the segment
+// cache; appending it is the only per-call work.
 func (rv *Resolver) appendIntra(p *Path, cur, dst *topology.Router) error {
-	if cur.AS != dst.AS {
-		return fmt.Errorf("routing: intra walk across ASes %d -> %d", cur.AS, dst.AS)
+	steps, err := rv.segment(cur, dst)
+	if err != nil {
+		return err
 	}
+	for i := range steps {
+		p.Links = append(p.Links, steps[i].InLink)
+		p.Hops = append(p.Hops, steps[i])
+	}
+	return nil
+}
+
+// computeSegment walks from router cur to router dst within one AS and
+// returns the hops appended past cur (empty when cur == dst).
+func (rv *Resolver) computeSegment(cur, dst *topology.Router) ([]Hop, error) {
+	if cur.AS != dst.AS {
+		return nil, fmt.Errorf("routing: intra walk across ASes %d -> %d", cur.AS, dst.AS)
+	}
+	var steps []Hop
 	step := func(next *topology.Router) error {
-		if next.ID == p.Hops[len(p.Hops)-1].Router.ID {
+		if next.ID == cur.ID {
 			return nil
 		}
 		ls := rv.intraLinks[routerPair(cur.ID, next.ID)]
@@ -281,47 +387,51 @@ func (rv *Resolver) appendIntra(p *Path, cur, dst *topology.Router) error {
 		if ingress.Router.ID != next.ID {
 			ingress = l.B
 		}
-		p.Links = append(p.Links, l)
-		p.Hops = append(p.Hops, Hop{Router: next, InLink: l, Ingress: ingress})
+		steps = append(steps, Hop{Router: next, InLink: l, Ingress: ingress})
 		cur = next
 		return nil
 	}
 
 	if cur.ID == dst.ID {
-		return nil
+		return []Hop{}, nil
 	}
 	// Direct link (border and access routers link to their local core;
 	// cores mesh between metros)?
 	if len(rv.intraLinks[routerPair(cur.ID, dst.ID)]) > 0 {
-		return step(dst)
+		if err := step(dst); err != nil {
+			return nil, err
+		}
+		return steps, nil
 	}
 	// Otherwise go via cores: local core, then destination-metro core.
 	if cur.Kind != topology.RouterCore {
 		c, err := rv.coreAt(cur.AS, cur.Metro)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if c.ID != cur.ID {
 			if err := step(c); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	if cur.Metro != dst.Metro {
 		c, err := rv.coreAt(cur.AS, dst.Metro)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if c.ID != cur.ID {
 			if err := step(c); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	if cur.ID != dst.ID {
-		return step(dst)
+		if err := step(dst); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return steps, nil
 }
 
 // RTTms computes the base (uncongested) round-trip time of a path in
@@ -330,10 +440,13 @@ func (rv *Resolver) appendIntra(p *Path, cur, dst *topology.Router) error {
 // slack.
 func (rv *Resolver) RTTms(p *Path) float64 {
 	oneWay := 0.0
-	for i := 1; i < len(p.Hops); i++ {
-		a := rv.topo.MustMetro(p.Hops[i-1].Router.Metro)
-		b := rv.topo.MustMetro(p.Hops[i].Router.Metro)
-		oneWay += geo.PropagationDelayMs(a, b) + 0.05
+	if len(p.Hops) > 0 {
+		prev := rv.routerMetroIdx(p.Hops[0].Router)
+		for i := 1; i < len(p.Hops); i++ {
+			mi := rv.routerMetroIdx(p.Hops[i].Router)
+			oneWay += rv.delays.At(int(prev), int(mi)) + 0.05
+			prev = mi
+		}
 	}
 	// Host attachment segments.
 	oneWay += 0.2

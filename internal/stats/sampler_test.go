@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWeightedSamplerMatchesWeightedChoice pins the draw-for-draw
+// identity contract: over identical RNG streams, Pick returns exactly
+// the index sequence WeightedChoice returns, for mixed, degenerate,
+// and all-zero weight vectors.
+func TestWeightedSamplerMatchesWeightedChoice(t *testing.T) {
+	vectors := [][]float64{
+		{0, 1, 3, 0},
+		{2.5},
+		{1, 1, 1, 1, 1, 1, 1},
+		{0, 0, 0},
+		{0.1, 0, 17, 3.3, 0, 0.0001, 42},
+		{-1, 2, -3, 4},
+	}
+	for vi, weights := range vectors {
+		s := NewWeightedSampler(weights)
+		a := rand.New(rand.NewSource(int64(vi + 1)))
+		b := rand.New(rand.NewSource(int64(vi + 1)))
+		for i := 0; i < 5000; i++ {
+			want := WeightedChoice(weights, a)
+			if got := s.Pick(b); got != want {
+				t.Fatalf("vector %d draw %d: Pick = %d, WeightedChoice = %d", vi, i, got, want)
+			}
+		}
+	}
+}

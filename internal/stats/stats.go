@@ -291,3 +291,44 @@ func WeightedChoice(weights []float64, rng *rand.Rand) int {
 	}
 	return len(weights) - 1
 }
+
+// WeightedSampler is WeightedChoice with the total precomputed, for
+// hot loops that draw many times from one fixed weight vector (e.g.
+// household selection during campaign scheduling). Pick consumes the
+// same RNG draws and performs the same left-to-right subtraction scan
+// as WeightedChoice, so the two are draw-for-draw identical; the
+// sampler only skips re-summing the weights on every call.
+type WeightedSampler struct {
+	weights []float64
+	total   float64
+}
+
+// NewWeightedSampler captures the weight vector (not copied; the
+// caller must not mutate it).
+func NewWeightedSampler(weights []float64) *WeightedSampler {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	return &WeightedSampler{weights: weights, total: total}
+}
+
+// Pick returns an index sampled like WeightedChoice(weights, rng).
+func (s *WeightedSampler) Pick(rng *rand.Rand) int {
+	if s.total <= 0 {
+		return rng.Intn(len(s.weights))
+	}
+	r := rng.Float64() * s.total
+	for i, w := range s.weights {
+		if w <= 0 {
+			continue
+		}
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(s.weights) - 1
+}

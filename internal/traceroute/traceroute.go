@@ -103,6 +103,7 @@ func (tr *Tracer) Trace(src, dst routing.Endpoint, entropy uint32, minute int, r
 	out := &Trace{
 		SrcAddr: src.Addr, DstAddr: dst.Addr,
 		LaunchMinute: minute, FlowEntropy: entropy,
+		Hops: make([]Hop, 0, len(path.Hops)+1),
 	}
 	// Cumulative RTT per hop approximated by scaling the full-path base
 	// RTT by hop position (queueing noise added per probe).
@@ -160,7 +161,10 @@ func (tr *Tracer) Trace(src, dst routing.Endpoint, entropy uint32, minute int, r
 // occasionally the reply comes from a borrowed-space interface — the
 // case that genuinely confuses AS-boundary identification [25].
 func pickOtherIface(r *topology.Router, current *topology.Interface, rng *rand.Rand) *topology.Interface {
-	var own, foreign []*topology.Interface
+	// Constant caps keep the candidate slices off the heap for typical
+	// router degrees; append still grows them when a router has more.
+	own := make([]*topology.Interface, 0, 8)
+	foreign := make([]*topology.Interface, 0, 8)
 	for _, ifc := range r.Ifaces {
 		if ifc == current || ifc.Addr.IsZero() {
 			continue
@@ -183,7 +187,7 @@ func pickOtherIface(r *topology.Router, current *topology.Interface, rng *rand.R
 // ResponsiveAddrs returns the non-star hop addresses in order,
 // deduplicating consecutive repeats.
 func (t *Trace) ResponsiveAddrs() []netaddr.Addr {
-	var out []netaddr.Addr
+	out := make([]netaddr.Addr, 0, len(t.Hops))
 	for _, h := range t.Hops {
 		if h.NoReply() {
 			continue
