@@ -23,6 +23,7 @@ import (
 	"throughputlab/internal/core"
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/mapit"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/report"
 	"throughputlab/internal/routing"
@@ -90,6 +91,24 @@ func BenchmarkCorpusCollection(b *testing.B) {
 	e := env(b)
 	cfg := platform.DefaultCollect()
 	cfg.Tests = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Collect(e.World, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusCollectionInstrumented is the same campaign with a
+// live obs registry attached — the pair bounds the enabled-metrics
+// overhead on the collection hot path (budget: ≤5% over the
+// uninstrumented run).
+func BenchmarkCorpusCollectionInstrumented(b *testing.B) {
+	e := env(b)
+	cfg := platform.DefaultCollect()
+	cfg.Tests = 2000
+	cfg.Obs = obs.NewRegistry()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/routing"
 	"throughputlab/internal/topogen"
@@ -55,6 +56,11 @@ type Baseline struct {
 	// ResolverCacheHitRates records the resolver cache efficiency over
 	// the medium-scale collection run, as percentages.
 	ResolverCacheHitRates map[string]float64 `json:"resolver_cache_hit_rates"`
+	// Observability is the obs registry snapshot of the medium-scale
+	// end-to-end run: the generation/collection phase-span tree, cache
+	// and fallback counters, and per-shard collection gauges. It gives
+	// future perf PRs per-phase attribution next to the raw numbers.
+	Observability *obs.Dump `json:"observability,omitempty"`
 }
 
 func record(name string, r testing.BenchmarkResult) BenchResult {
@@ -167,9 +173,17 @@ func benchCmd(args []string) error {
 	} {
 		fmt.Fprintf(os.Stderr, "bench: end-to-end collection (%s, %d tests, %d workers)...\n",
 			scale.name, scale.tests, *workers)
+		// The medium run carries an obs registry, so the baseline embeds
+		// the phase-span tree and pipeline counters alongside wall time.
+		var reg *obs.Registry
+		if scale.name == "medium" {
+			reg = obs.NewRegistry()
+			scale.cfg.Obs = reg
+		}
 		fw := topogen.MustGenerate(scale.cfg)
 		cfg := platform.DefaultCollect()
 		cfg.Tests = scale.tests
+		cfg.Obs = reg
 		start := time.Now()
 		corpus, err := platform.CollectParallel(fw, cfg, *workers)
 		if err != nil {
@@ -194,6 +208,7 @@ func benchCmd(args []string) error {
 				"inter":   rate(st.InterHits, st.InterMisses),
 				"aspath":  rate(st.ASPathHits, st.ASPathMisses),
 			}
+			b.Observability = reg.Snapshot()
 		}
 	}
 

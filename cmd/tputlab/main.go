@@ -22,6 +22,7 @@ import (
 
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/experiments"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/report"
 )
 
@@ -72,7 +73,11 @@ flags for run/report:
   -seed N                generation seed (default 1)
   -tests N               NDT corpus size (0 = scale default)
   -parallel N            engine worker count (default GOMAXPROCS);
-                         results are identical for every N`)
+                         results are identical for every N
+  -metrics               print the phase-span tree and pipeline metrics
+                         (cache hit rates, per-shard counts, fallbacks)
+                         to stderr; stdout stays byte-identical
+  -metrics-json FILE     write the metrics registry dump as JSON`)
 }
 
 // scaleOptions maps a -scale value to its environment options; unknown
@@ -92,30 +97,93 @@ func scaleOptions(scale string) (experiments.Options, error) {
 	}
 }
 
+// commonFlags is the flag/Options-building block shared by runCmd and
+// reportCmd (it was duplicated verbatim between them before).
+type commonFlags struct {
+	scale       *string
+	seed        *int64
+	tests       *int
+	workers     *int
+	metrics     *bool
+	metricsJSON *string
+}
+
+// addCommonFlags registers the run/report flag set on fs.
+func addCommonFlags(fs *flag.FlagSet) *commonFlags {
+	return &commonFlags{
+		scale:       fs.String("scale", "default", "small, default or large"),
+		seed:        fs.Int64("seed", 1, "generation seed"),
+		tests:       fs.Int("tests", 0, "NDT corpus size override"),
+		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
+		metrics:     fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
+		metricsJSON: fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
+	}
+}
+
+// options assembles the experiment Options from the parsed flags,
+// attaching a fresh obs registry when metrics were requested (nil
+// otherwise, which disables instrumentation throughout the pipeline).
+func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
+	opts, err := scaleOptions(*cf.scale)
+	if err != nil {
+		return experiments.Options{}, nil, err
+	}
+	opts.Topo.Seed = *cf.seed
+	if *cf.tests > 0 {
+		opts.Collect.Tests = *cf.tests
+	}
+	opts.Workers = *cf.workers
+	var reg *obs.Registry
+	if *cf.metrics || *cf.metricsJSON != "" {
+		reg = obs.NewRegistry()
+		opts.Obs = reg
+	}
+	return opts, reg, nil
+}
+
+// emitMetrics renders the registry per the flags: the human summary to
+// stderr (-metrics), the JSON dump to a file (-metrics-json). stdout is
+// never touched, so experiment output stays byte-identical.
+func (cf *commonFlags) emitMetrics(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	if *cf.metrics {
+		fmt.Fprint(os.Stderr, reg.Summary())
+	}
+	if *cf.metricsJSON != "" {
+		f, err := os.Create(*cf.metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
 func reportCmd(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	scale := fs.String("scale", "default", "small, default or large")
-	seed := fs.Int64("seed", 1, "generation seed")
-	tests := fs.Int("tests", 0, "NDT corpus size override")
-	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count")
+	cf := addCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts, err := scaleOptions(*scale)
+	opts, reg, err := cf.options()
 	if err != nil {
 		return err
 	}
-	opts.Topo.Seed = *seed
-	if *tests > 0 {
-		opts.Collect.Tests = *tests
-	}
-	opts.Workers = *workers
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Build(env, report.DefaultConfig()).Render())
-	return nil
+	sp := reg.Span("report")
+	out := report.Build(env, report.DefaultConfig()).Render()
+	sp.End()
+	fmt.Println(out)
+	return cf.emitMetrics(reg)
 }
 
 func runCmd(args []string) error {
@@ -124,27 +192,18 @@ func runCmd(args []string) error {
 	}
 	name := args[0]
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	scale := fs.String("scale", "default", "small, default or large")
-	seed := fs.Int64("seed", 1, "generation seed")
-	tests := fs.Int("tests", 0, "NDT corpus size override")
+	cf := addCommonFlags(fs)
 	asJSON := fs.Bool("json", false, "emit the result struct as JSON instead of a table")
-	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-
-	opts, err := scaleOptions(*scale)
+	opts, reg, err := cf.options()
 	if err != nil {
 		return err
 	}
-	opts.Topo.Seed = *seed
-	if *tests > 0 {
-		opts.Collect.Tests = *tests
-	}
-	opts.Workers = *workers
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *scale, *seed, *workers)
+	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *cf.scale, *cf.seed, *cf.workers)
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		return err
@@ -155,24 +214,34 @@ func runCmd(args []string) error {
 		len(env.Corpus.Tests), len(env.Corpus.Traces), time.Since(start).Seconds())
 
 	if name == "all" {
-		out, stats, err := experiments.RunParallel(env, *workers)
+		out, stats, err := experiments.RunParallel(env, *cf.workers)
 		fmt.Print(out)
 		fmt.Fprint(os.Stderr, stats.Summary())
-		return err
+		if err != nil {
+			return err
+		}
+		return cf.emitMetrics(reg)
 	}
 	entry, ok := experiments.Find(name)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try 'tputlab list')", name)
 	}
-	r, err := entry.Run(env)
+	sp := reg.Span("experiments")
+	child := sp.Child(entry.Name)
+	res, err := entry.Run(env)
+	child.End()
+	sp.End()
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
-		return enc.Encode(r)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return cf.emitMetrics(reg)
 	}
-	fmt.Println(r.Render())
-	return nil
+	fmt.Println(res.Render())
+	return cf.emitMetrics(reg)
 }

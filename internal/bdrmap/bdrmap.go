@@ -172,8 +172,12 @@ func Run(traces []*traceroute.Trace, opts Opts) *Result {
 }
 
 // Borders aggregates crossings of the given traces into the border
-// map.
+// map. When the analyzer's MAP-IT options carry an obs registry,
+// crossing-match and border-classification counters accumulate there.
 func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
+	reg := az.opts.MapIt.Obs
+	matched := reg.Counter("bdrmap.crossings.matched")
+	unmatched := reg.Counter("bdrmap.crossings.unmatched")
 	type agg struct {
 		traces int
 		pairs  map[[2]int]bool
@@ -182,8 +186,10 @@ func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
 	for _, tr := range traces {
 		c, ok := az.FirstCrossing(tr)
 		if !ok {
+			unmatched.Inc()
 			continue
 		}
+		matched.Inc()
 		a := byNeighbor[c.Neighbor]
 		if a == nil {
 			a = &agg{pairs: map[[2]int]bool{}}
@@ -214,6 +220,8 @@ func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
 		e.Router += b.RouterPairs
 		res.ByRel[b.Rel] = e
 	}
+	reg.Counter("bdrmap.borders.as").Add(uint64(res.ASCount))
+	reg.Counter("bdrmap.borders.router").Add(uint64(res.RouterCount))
 	return res
 }
 

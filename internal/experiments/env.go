@@ -15,6 +15,7 @@ import (
 	"throughputlab/internal/mapit"
 	"throughputlab/internal/ndt"
 	"throughputlab/internal/netaddr"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/topogen"
 	"throughputlab/internal/topology"
@@ -28,6 +29,11 @@ type Options struct {
 	// MAP-IT inference (0 or 1 = serial). Results are identical for
 	// every worker count — see the determinism contract in DESIGN.md.
 	Workers int
+	// Obs, when non-nil, instruments the whole pipeline: NewEnv threads
+	// it through world generation, corpus collection, and the shared
+	// inference stages, and RunParallel records per-experiment spans on
+	// it. Experiment output is byte-identical with and without it.
+	Obs *obs.Registry
 }
 
 // workers returns the effective worker count (at least 1).
@@ -71,8 +77,12 @@ type Env struct {
 
 // NewEnv generates the world, collects the corpus, and runs the shared
 // inference stages, using opts.Workers goroutines for the collection
-// and inference phases.
+// and inference phases. When opts.Obs is set, every phase is traced and
+// the layers report their metrics to it.
 func NewEnv(opts Options) (*Env, error) {
+	reg := opts.Obs
+	opts.Topo.Obs = reg
+	opts.Collect.Obs = reg
 	w, err := topogen.Generate(opts.Topo)
 	if err != nil {
 		return nil, err
@@ -82,8 +92,13 @@ func NewEnv(opts Options) (*Env, error) {
 		return nil, err
 	}
 	e := &Env{Opts: opts, World: w, Corpus: corpus}
+	sp := reg.Span("mapit")
 	e.Inference = mapit.Run(corpus.Traces, e.MapItOpts())
+	sp.End()
+	sp = reg.Span("match")
 	e.Matching = core.MatchTraces(corpus.Tests, corpus.Traces, 10, core.WindowAfter)
+	sp.End()
+	reg.Gauge("match.pairs").Set(int64(e.Matching.Matched()))
 	return e, nil
 }
 
@@ -92,6 +107,7 @@ func (e *Env) MapItOpts() mapit.Opts {
 	w := e.World
 	return mapit.Opts{
 		Workers:   e.Opts.workers(),
+		Obs:       e.Opts.Obs,
 		Prefix2AS: w.Topo.OriginOf,
 		IsIXP: func(a netaddr.Addr) bool {
 			for _, p := range w.Topo.IXPPrefixes {

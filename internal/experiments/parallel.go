@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"throughputlab/internal/obs"
 	"throughputlab/internal/routing"
 )
 
@@ -23,7 +25,11 @@ type ExperimentStat struct {
 	AllocBytes uint64
 }
 
-// RunStats summarizes a RunParallel sweep.
+// RunStats summarizes a RunParallel sweep. It is a view over the obs
+// registry the sweep ran against: per-experiment numbers come from the
+// sweep's "experiments" span tree and alloc gauges, and the resolver
+// block from the same counters `-metrics` renders — there is no second
+// bookkeeping path.
 type RunStats struct {
 	Workers int
 	// Wall is the end-to-end sweep time; with more than one worker it
@@ -41,14 +47,16 @@ type RunStats struct {
 }
 
 // Summary renders the stats as a small table, slowest experiment
-// first.
+// first; equal wall times order by experiment name so the rendering is
+// deterministic.
 func (s *RunStats) Summary() string {
 	ordered := append([]ExperimentStat(nil), s.Experiments...)
-	for i := 1; i < len(ordered); i++ {
-		for j := i; j > 0 && ordered[j].Wall > ordered[j-1].Wall; j-- {
-			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Wall != ordered[j].Wall {
+			return ordered[i].Wall > ordered[j].Wall
 		}
-	}
+		return ordered[i].Name < ordered[j].Name
+	})
 	var sum time.Duration
 	for _, st := range ordered {
 		sum += st.Wall
@@ -79,8 +87,12 @@ func (s *RunStats) Summary() string {
 // and emits output in registry order, byte-identical to RunAll. When
 // an experiment fails, the output of the registry entries before it is
 // returned together with the error, matching RunAll's partial-output
-// semantics. Per-experiment wall time and allocation are collected
-// into RunStats.
+// semantics.
+//
+// Each experiment runs under an obs span (child of one "experiments"
+// phase span) on the Env's registry — or a private registry when the
+// Env is uninstrumented — and RunStats is assembled from those spans,
+// so `-metrics` output and the Summary table always agree.
 //
 // Experiments share the Env read-only (the §5 per-VP cache is built
 // once under Env.vpsOnce), so any worker count is safe and the output
@@ -93,14 +105,22 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 	if workers > len(entries) {
 		workers = len(entries)
 	}
+	reg := e.Opts.Obs
+	if reg == nil {
+		// Stats are always collected; an uninstrumented run just keeps
+		// them on a private registry nobody else renders.
+		reg = obs.NewRegistry()
+	}
 	start := time.Now()
+	sweep := reg.Span("experiments")
 
 	type slot struct {
 		out  string
 		err  error
-		stat ExperimentStat
+		span *obs.Span
 	}
 	slots := make([]slot, len(entries))
+	allocs := make([]uint64, len(entries))
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -115,14 +135,13 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 				entry := entries[i]
 				var before, after runtime.MemStats
 				runtime.ReadMemStats(&before)
-				t0 := time.Now()
+				sp := sweep.Child(entry.Name)
 				r, err := entry.Run(e)
-				wall := time.Since(t0)
+				sp.End()
 				runtime.ReadMemStats(&after)
-				slots[i].stat = ExperimentStat{
-					Name: entry.Name, Wall: wall,
-					AllocBytes: after.TotalAlloc - before.TotalAlloc,
-				}
+				slots[i].span = sp
+				allocs[i] = after.TotalAlloc - before.TotalAlloc
+				reg.Gauge("experiments." + entry.Name + ".alloc_bytes").Set(int64(allocs[i]))
 				if err != nil {
 					slots[i].err = fmt.Errorf("experiment %s: %w", entry.Name, err)
 					continue
@@ -132,11 +151,14 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 		}()
 	}
 	wg.Wait()
+	sweep.End()
 
 	stats := &RunStats{Workers: workers, Resolver: e.World.Resolver.Stats()}
 	var sb strings.Builder
 	for i := range slots {
-		stats.Experiments = append(stats.Experiments, slots[i].stat)
+		stats.Experiments = append(stats.Experiments, ExperimentStat{
+			Name: entries[i].Name, Wall: slots[i].span.Duration(), AllocBytes: allocs[i],
+		})
 		if slots[i].err != nil {
 			stats.Wall = time.Since(start)
 			return sb.String(), stats, slots[i].err

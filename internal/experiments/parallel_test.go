@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
+	"time"
+
+	"throughputlab/internal/obs"
 )
 
 // TestRunParallelGolden asserts the engine's core contract: RunParallel
@@ -47,6 +51,142 @@ func TestRunParallelGolden(t *testing.T) {
 		if s := stats.Summary(); len(s) < 100 {
 			t.Errorf("stats summary too short: %q", s)
 		}
+	}
+}
+
+// TestSummaryDeterministicTieBreak pins the Summary ordering contract:
+// slowest experiment first, and equal wall times break ties by name so
+// two renderings of the same stats are always byte-identical.
+func TestSummaryDeterministicTieBreak(t *testing.T) {
+	s := &RunStats{
+		Workers: 2,
+		Wall:    2 * time.Second,
+		Experiments: []ExperimentStat{
+			{Name: "fig5", Wall: time.Second},
+			{Name: "ablation", Wall: time.Second},
+			{Name: "table1", Wall: 2 * time.Second},
+			{Name: "coverage", Wall: time.Second},
+		},
+	}
+	out := s.Summary()
+	want := []string{"table1", "ablation", "coverage", "fig5"}
+	pos := make([]int, len(want))
+	for i, name := range want {
+		pos[i] = strings.Index(out, name)
+		if pos[i] < 0 {
+			t.Fatalf("summary missing %q:\n%s", name, out)
+		}
+	}
+	for i := 1; i < len(pos); i++ {
+		if pos[i] < pos[i-1] {
+			t.Errorf("summary order wrong: want %v (slowest first, ties by name), got:\n%s", want, out)
+			break
+		}
+	}
+	if s.Summary() != out {
+		t.Error("Summary not deterministic across calls")
+	}
+}
+
+// TestRunParallelGoldenWithObs pins the observability invariance
+// guarantee on the experiment sweep: running with a live registry
+// attached produces output byte-identical to the uninstrumented serial
+// baseline, and the registry ends up holding one child span per
+// experiment under the "experiments" phase.
+func TestRunParallelGoldenWithObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry three times")
+	}
+	want, err := RunAll(env)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	defer func() { env.Opts.Obs = nil }()
+	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		env.Opts.Obs = reg
+		got, stats, err := RunParallel(env, workers)
+		if err != nil {
+			t.Fatalf("RunParallel(%d): %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("instrumented RunParallel(%d) output differs from RunAll (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+		d := reg.Snapshot()
+		if len(d.Spans) != 1 || d.Spans[0].Name != "experiments" {
+			t.Fatalf("want one experiments root span, got %+v", d.Spans)
+		}
+		entries := Registry()
+		if len(d.Spans[0].Children) != len(entries) {
+			t.Fatalf("experiments span has %d children, want %d", len(d.Spans[0].Children), len(entries))
+		}
+		seen := map[string]bool{}
+		for _, c := range d.Spans[0].Children {
+			seen[c.Name] = true
+		}
+		for _, e := range entries {
+			if !seen[e.Name] {
+				t.Errorf("no span recorded for experiment %q", e.Name)
+			}
+			if g := reg.Gauge("experiments." + e.Name + ".alloc_bytes"); g.Value() < 0 {
+				t.Errorf("negative alloc gauge for %q", e.Name)
+			}
+		}
+		// The stats table is a view over the same registry.
+		for _, st := range stats.Experiments {
+			if st.Wall <= 0 {
+				t.Errorf("experiment %s span recorded no duration", st.Name)
+			}
+		}
+	}
+}
+
+// TestRunParallelFullyInstrumented wires the registry the way the CLI
+// does — before NewEnv, so world generation, collection, and the
+// sub-environments some experiments rebuild are all traced — and runs
+// the sweep with several workers. Sub-environment experiments push
+// phase spans on the shared registry stack concurrently; under -race
+// this asserts that is safe, and the output must still match an
+// uninstrumented serial run of the same environment.
+func TestRunParallelFullyInstrumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an extra world and runs the registry twice")
+	}
+	reg := obs.NewRegistry()
+	opts := QuickOptions()
+	opts.Obs = reg
+	instrumented, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunAll(instrumented)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	got, _, err := RunParallel(instrumented, 4)
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if got != want {
+		t.Errorf("fully instrumented parallel output differs from serial (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	d := reg.Snapshot()
+	names := map[string]bool{}
+	for _, s := range d.Spans {
+		names[s.Name] = true
+	}
+	for _, wantRoot := range []string{"generate", "collect", "mapit", "match", "experiments"} {
+		if !names[wantRoot] {
+			t.Errorf("missing root phase span %q (have %+v)", wantRoot, d.Spans)
+		}
+	}
+	if reg.Counter("collect.tests").Value() == 0 {
+		t.Error("collect.tests counter empty on instrumented env")
+	}
+	if reg.Counter("resolver.segment.hits").Value() == 0 {
+		t.Error("resolver counters not rebound onto the pipeline registry")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"throughputlab/internal/netaddr"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/topology"
 	"throughputlab/internal/traceroute"
 )
@@ -54,6 +55,11 @@ type Opts struct {
 	// Prefix2AS/IsIXP/SameOrg callbacks must be safe for concurrent
 	// calls when Workers > 1.
 	Workers int
+	// Obs, when non-nil, receives inference counters (links classified,
+	// majority-vote ties, far-side flips). Counters accumulate across
+	// runs sharing one registry (the ablation experiments rerun the
+	// inference); they never influence the inference itself.
+	Obs *obs.Registry
 }
 
 func (o *Opts) withDefaults() {
@@ -126,6 +132,9 @@ type ifaceStats struct {
 // Run executes MAP-IT over the trace corpus.
 func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	opts.withDefaults()
+	reg := opts.Obs
+	ties := reg.Counter("mapit.majority.ties")
+	reg.Counter("mapit.traces").Add(uint64(len(traces)))
 
 	// Pass 0: neighbor sets, built in parallel over contiguous trace
 	// chunks and merged by count addition — merge order cannot affect
@@ -234,7 +243,7 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 			if !s.isIXP && s.hasOrg {
 				continue
 			}
-			succAS, succFrac := majority(s.next, voteOp, opts.SameOrg, dsts)
+			succAS, succFrac := majority(s.next, voteOp, opts.SameOrg, dsts, ties)
 			if succAS == 0 || succFrac < opts.Threshold {
 				continue
 			}
@@ -243,6 +252,7 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 				changed++
 			}
 		}
+		reg.Counter("mapit.vote.resolved").Add(uint64(changed))
 		if changed == 0 {
 			break
 		}
@@ -272,7 +282,7 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 		if !hasCur || s.isIXP {
 			continue
 		}
-		succAS, succFrac := majority(s.next, originVote, opts.SameOrg, dsts)
+		succAS, succFrac := majority(s.next, originVote, opts.SameOrg, dsts, ties)
 		// Unanimity required: a genuine far side forwards into exactly
 		// one foreign network. A mere majority would let the busiest
 		// neighbor of a shared border router capture the router's
@@ -281,12 +291,13 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 		if succAS == 0 || opts.SameOrg(cur, succAS) || succFrac < 0.999 {
 			continue
 		}
-		predAS, predFrac := majority(s.prev, originVote, opts.SameOrg, dsts)
+		predAS, predFrac := majority(s.prev, originVote, opts.SameOrg, dsts, ties)
 		if len(s.prev) == 0 {
 			continue
 		}
 		if predAS != 0 && opts.SameOrg(predAS, cur) && predFrac >= opts.Threshold {
 			op[a] = succAS
+			reg.Counter("mapit.farside.flips").Inc()
 		}
 	}
 
@@ -346,6 +357,8 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 		}
 		return inf.Links[i].Far < inf.Links[j].Far
 	})
+	reg.Counter("mapit.links.classified").Add(uint64(len(inf.Links)))
+	reg.Counter("mapit.operators.labeled").Add(uint64(len(op)))
 	return inf
 }
 
@@ -358,9 +371,13 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 // wins" collapse made tie-breaks, and hence the whole inference,
 // nondeterministic across runs). Destination-host neighbors are
 // excluded (they are not router interfaces). It returns the winning
-// ASN and its vote fraction (0 when no votes).
+// ASN and its vote fraction (0 when no votes). A tie between distinct
+// organizations for the top vote count — resolved by the smallest-ASN
+// rule — is recorded on the ties counter (nil-safe), since ties are
+// exactly where the deterministic tie-break is load-bearing.
 func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
-	sameOrg func(a, b topology.ASN) bool, dsts map[netaddr.Addr]struct{}) (topology.ASN, float64) {
+	sameOrg func(a, b topology.ASN) bool, dsts map[netaddr.Addr]struct{},
+	ties *obs.Counter) (topology.ASN, float64) {
 
 	perAS := map[topology.ASN]int{}
 	total := 0
@@ -402,6 +419,17 @@ func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
 	for asn, n := range votes {
 		if n > bestN || (n == bestN && asn < best) {
 			best, bestN = asn, n
+		}
+	}
+	if ties != nil {
+		atTop := 0
+		for _, n := range votes {
+			if n == bestN {
+				atTop++
+			}
+		}
+		if atTop > 1 {
+			ties.Inc()
 		}
 	}
 	return best, float64(bestN) / float64(total)

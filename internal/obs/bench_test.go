@@ -1,0 +1,56 @@
+package obs
+
+import "testing"
+
+// Benchmarks pinning the two contracts the rest of the pipeline builds
+// on: the disabled (nil-handle) path is a branch — 0 allocs/op,
+// sub-nanosecond — and the enabled path is one atomic op with 0
+// allocs/op. BenchmarkCounterAddDisabled is the regression guard the
+// ISSUE requires: the observability layer can never silently put
+// allocations back on the PR-2 hot paths.
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("disabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	c := NewRegistry().Counter("enabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter not incremented")
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("disabled", Bounds(1, 2, 4, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 15))
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("enabled", Bounds(1, 2, 4, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 15))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Span("phase")
+		sp.End()
+	}
+}

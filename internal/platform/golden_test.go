@@ -1,6 +1,11 @@
 package platform
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"throughputlab/internal/obs"
+)
 
 // seedCorpusHash is the corpus FNV hash of the small-scale campaign
 // (SmallConfig world, smallCollect config) measured before the
@@ -21,6 +26,57 @@ func TestCorpusGoldenSeedHash(t *testing.T) {
 		}
 		if got := corpusHash(c); got != seedCorpusHash {
 			t.Errorf("corpus hash with %d workers = %#x, want seed %#x", workers, got, seedCorpusHash)
+		}
+	}
+}
+
+// TestCorpusGoldenSeedHashWithObs pins the observability invariance
+// guarantee: a metrics-enabled collection (live registry shared by all
+// shards and workers) produces the byte-identical corpus, still equal
+// to the seed hash, at workers 1/2/8 — and the registry actually saw
+// the campaign. Under -race this also exercises concurrent shard
+// updates against one registry on the real pipeline.
+func TestCorpusGoldenSeedHashWithObs(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		reg := obs.NewRegistry()
+		cfg := smallCollect()
+		cfg.Obs = reg
+		c, err := CollectParallel(world, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := corpusHash(c); got != seedCorpusHash {
+			t.Errorf("instrumented corpus hash with %d workers = %#x, want seed %#x",
+				workers, got, seedCorpusHash)
+		}
+		if got := reg.Counter("collect.tests").Value(); got != uint64(len(c.Tests)) {
+			t.Errorf("collect.tests = %d, want %d", got, len(c.Tests))
+		}
+		if got := reg.Counter("collect.traces").Value(); got != uint64(len(c.Traces)) {
+			t.Errorf("collect.traces = %d, want %d", got, len(c.Traces))
+		}
+		if got := reg.Counter("collect.trace.rejected_busy").Value(); got != uint64(c.TestsWithoutTrace) {
+			t.Errorf("busy rejections = %d, want %d", got, c.TestsWithoutTrace)
+		}
+		var shardTests int64
+		for s := 0; s < DefaultShards; s++ {
+			shardTests += reg.Gauge(fmt.Sprintf("collect.shard.%02d.tests", s)).Value()
+		}
+		if shardTests != int64(len(c.Tests)) {
+			t.Errorf("per-shard test gauges sum to %d, want %d", shardTests, len(c.Tests))
+		}
+		d := reg.Snapshot()
+		if len(d.Spans) == 0 || d.Spans[0].Name != "collect" {
+			t.Fatalf("missing collect span tree: %+v", d.Spans)
+		}
+		phases := map[string]bool{}
+		for _, c := range d.Spans[0].Children {
+			phases[c.Name] = true
+		}
+		for _, want := range []string{"collect.population", "collect.schedule", "collect.sweep", "collect.execute"} {
+			if !phases[want] {
+				t.Errorf("collect span missing child %q (have %v)", want, phases)
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package platform
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/ndt"
 	"throughputlab/internal/netsim"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/routing"
 	"throughputlab/internal/stats"
 	"throughputlab/internal/topogen"
@@ -117,6 +119,11 @@ type CollectConfig struct {
 	TracerouteDurationMin int
 	// Artifacts configures traceroute imperfections.
 	Artifacts traceroute.Artifacts
+	// Obs, when non-nil, receives collection phase spans, per-shard
+	// test/trace gauges, and busy-collector rejection counters. It is
+	// not part of the corpus identity: the corpus is byte-identical with
+	// and without it (see the golden tests).
+	Obs *obs.Registry
 }
 
 // DefaultCollect returns the standard May-2015-style campaign.
@@ -280,7 +287,14 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	if workers < 1 {
 		workers = 1
 	}
+	reg := cfg.Obs
+	collectSpan := reg.Span("collect")
+	defer collectSpan.End()
+
+	popSpan := reg.Span("collect.population")
 	households := population(w, cfg.PerPoolClients, cfg.Seed+1)
+	popSpan.End()
+	reg.Gauge("collect.households").Set(int64(len(households)))
 	runner := ndt.NewRunner(w)
 	tracer := traceroute.New(w.Topo, w.Resolver, cfg.Artifacts)
 
@@ -310,6 +324,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	// Phase 1 — scheduling, parallel over shards. Shard s draws
 	// Tests/shards arrivals (the first Tests%shards shards draw one
 	// more) from its own stream.
+	schedSpan := reg.Span("collect.schedule")
 	sctx := newScheduleCtx(w, cfg, households, hw, &hourW)
 	perShard := make([][]arrival, shards)
 	runIndexed(shards, workers, func(s int) {
@@ -323,6 +338,11 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	for _, sh := range perShard {
 		total += len(sh)
 	}
+	if reg != nil {
+		for s, sh := range perShard {
+			reg.Gauge(fmt.Sprintf("collect.shard.%02d.tests", s)).Set(int64(len(sh)))
+		}
+	}
 	schedule := make([]arrival, 0, total)
 	for _, sh := range perShard {
 		schedule = append(schedule, sh...)
@@ -330,6 +350,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	// Ties on minute resolve by (shard, ord) — the concatenation order —
 	// so the merge is a total order independent of worker count.
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].minute < schedule[j].minute })
+	schedSpan.End()
 
 	// Phase 2 — the single-threaded traceroute collector (§4.1) is
 	// global sequential state: sweep the merged schedule once in time
@@ -345,11 +366,14 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		siteOff[&w.MLabSites[i]] = nServers
 		nServers += len(w.MLabSites[i].Servers)
 	}
+	sweepSpan := reg.Span("collect.sweep")
+	busyRejected := reg.Counter("collect.trace.rejected_busy")
 	busyUntil := make([]int, nServers)
 	for id, a := range schedule {
 		srv := siteOff[a.site] + int(a.entropy)%len(a.site.Servers)
 		if busyUntil[srv] > a.minute {
 			launches[id] = -1
+			busyRejected.Inc()
 			continue
 		}
 		// Launch lag: the collector queues behind test teardown, and
@@ -364,6 +388,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		busyUntil[srv] = launch + cfg.TracerouteDurationMin
 		launches[id] = launch
 	}
+	sweepSpan.End()
 
 	// Phase 3 — execution, parallel over arrivals. Each arrival runs
 	// its NDT test and (when scheduled) its traceroute against a
@@ -373,6 +398,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	// in exactly the NewSource(s) state, so the draws are unchanged but
 	// the ~5 KB source allocation happens once per worker instead of
 	// once per arrival (it was the campaign's largest allocation site).
+	execSpan := reg.Span("collect.execute")
 	tests := make([]*ndt.Test, len(schedule))
 	traces := make([]*traceroute.Trace, len(schedule))
 	errs := make([]error, len(schedule))
@@ -403,6 +429,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		}
 		traces[id] = tr
 	})
+	execSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -422,6 +449,19 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 			corpus.Traces = append(corpus.Traces, tr)
 		} else if launches[id] < 0 {
 			corpus.TestsWithoutTrace++
+		}
+	}
+	if reg != nil {
+		reg.Counter("collect.tests").Add(uint64(len(corpus.Tests)))
+		reg.Counter("collect.traces").Add(uint64(len(corpus.Traces)))
+		perShardTraces := make([]int64, shards)
+		for id, tr := range traces {
+			if tr != nil {
+				perShardTraces[schedule[id].shard]++
+			}
+		}
+		for s, n := range perShardTraces {
+			reg.Gauge(fmt.Sprintf("collect.shard.%02d.traces", s)).Set(n)
 		}
 	}
 	return corpus, nil

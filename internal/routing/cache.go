@@ -2,8 +2,8 @@ package routing
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"throughputlab/internal/obs"
 	"throughputlab/internal/topology"
 )
 
@@ -101,23 +101,61 @@ type Stats struct {
 	CoreFallbacks              uint64
 }
 
+// resolverCounters holds the resolver's obs handles. They are bound to
+// a private registry by New so Stats always works, and rebound onto a
+// shared registry by Observe when the pipeline is instrumented.
 type resolverCounters struct {
-	segHits, segMisses       atomic.Uint64
-	interHits, interMisses   atomic.Uint64
-	asPathHits, asPathMisses atomic.Uint64
-	coreFallbacks            atomic.Uint64
+	segHits, segMisses       *obs.Counter
+	interHits, interMisses   *obs.Counter
+	asPathHits, asPathMisses *obs.Counter
+	coreFallbacks            *obs.Counter
+	// resolveHops is the router-hop-count distribution over resolved
+	// paths; interCandidates is the near-tie set size distribution over
+	// distinct interdomain crossings (recorded on the compute path, so
+	// it describes the key space rather than the traffic mix).
+	resolveHops     *obs.Histogram
+	interCandidates *obs.Histogram
+}
+
+// bindObs (re)creates the resolver's metric handles on the given
+// registry.
+func (rv *Resolver) bindObs(reg *obs.Registry) {
+	rv.counters = resolverCounters{
+		segHits:         reg.Counter("resolver.segment.hits"),
+		segMisses:       reg.Counter("resolver.segment.misses"),
+		interHits:       reg.Counter("resolver.inter.hits"),
+		interMisses:     reg.Counter("resolver.inter.misses"),
+		asPathHits:      reg.Counter("resolver.aspath.hits"),
+		asPathMisses:    reg.Counter("resolver.aspath.misses"),
+		coreFallbacks:   reg.Counter("resolver.core.fallbacks"),
+		resolveHops:     reg.Histogram("resolver.resolve.hops", obs.Bounds(2, 4, 6, 8, 12, 16, 24)),
+		interCandidates: reg.Histogram("resolver.inter.candidates", obs.Bounds(1, 2, 3, 4, 6, 8)),
+	}
+}
+
+// Observe rebinds the resolver's counters and histograms onto the given
+// registry, so an instrumented run reports them alongside the rest of
+// the pipeline. Counters restart from the registry's current values
+// (zero on a fresh registry). Like DisableCache, Observe must be called
+// before the resolver is shared across goroutines; at most one resolver
+// should observe a given registry (names would collide otherwise).
+func (rv *Resolver) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	rv.bindObs(reg)
 }
 
 // Stats returns a snapshot of the resolver's counters.
 func (rv *Resolver) Stats() Stats {
 	return Stats{
-		SegmentHits:   rv.counters.segHits.Load(),
-		SegmentMisses: rv.counters.segMisses.Load(),
-		InterHits:     rv.counters.interHits.Load(),
-		InterMisses:   rv.counters.interMisses.Load(),
-		ASPathHits:    rv.counters.asPathHits.Load(),
-		ASPathMisses:  rv.counters.asPathMisses.Load(),
-		CoreFallbacks: rv.counters.coreFallbacks.Load(),
+		SegmentHits:   rv.counters.segHits.Value(),
+		SegmentMisses: rv.counters.segMisses.Value(),
+		InterHits:     rv.counters.interHits.Value(),
+		InterMisses:   rv.counters.interMisses.Value(),
+		ASPathHits:    rv.counters.asPathHits.Value(),
+		ASPathMisses:  rv.counters.asPathMisses.Value(),
+		CoreFallbacks: rv.counters.coreFallbacks.Value(),
 	}
 }
 

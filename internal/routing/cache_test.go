@@ -1,6 +1,10 @@
 package routing
 
-import "testing"
+import (
+	"testing"
+
+	"throughputlab/internal/obs"
+)
 
 // TestCoreFallbackCounted pins the resolver stats counter for coreAt's
 // any-router fallback: an AS asked for a metro it has no presence in
@@ -26,6 +30,45 @@ func TestCoreFallbackCounted(t *testing.T) {
 	}
 	if got := n.rv.Stats().CoreFallbacks; got != 1 {
 		t.Errorf("CoreFallbacks after present-metro lookup = %d, want 1", got)
+	}
+}
+
+// TestObserveRebindsStats pins the Observe contract: after rebinding
+// onto a shared registry, resolver activity lands on that registry
+// under the resolver.* names, Stats() reads the same counters, and the
+// hop/candidate histograms fill in.
+func TestObserveRebindsStats(t *testing.T) {
+	n := buildTestNet(t)
+	reg := obs.NewRegistry()
+	n.rv.Observe(reg)
+	for i := 0; i < 5; i++ {
+		if _, err := n.rv.Resolve(n.server, n.clientNYC, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.rv.Stats()
+	if st.SegmentHits == 0 {
+		t.Fatal("no segment hits recorded after rebind")
+	}
+	if got := reg.Counter("resolver.segment.hits").Value(); got != st.SegmentHits {
+		t.Errorf("registry segment hits = %d, Stats() = %d; want equal", got, st.SegmentHits)
+	}
+	if got := reg.Counter("resolver.segment.misses").Value(); got != st.SegmentMisses {
+		t.Errorf("registry segment misses = %d, Stats() = %d; want equal", got, st.SegmentMisses)
+	}
+	if h := reg.Histogram("resolver.resolve.hops", nil); h.Count() != 5 {
+		t.Errorf("hop histogram count = %d, want 5", h.Count())
+	}
+	if h := reg.Histogram("resolver.inter.candidates", nil); h.Count() == 0 {
+		t.Error("candidate-set histogram empty after resolves")
+	}
+	// Observe(nil) is a no-op, not a detach.
+	n.rv.Observe(nil)
+	if _, err := n.rv.Resolve(n.server, n.clientNYC, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("resolver.segment.hits").Value(); got != n.rv.Stats().SegmentHits {
+		t.Error("Observe(nil) detached the registry; want no-op")
 	}
 }
 

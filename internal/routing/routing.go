@@ -24,6 +24,7 @@ import (
 	"throughputlab/internal/bgp"
 	"throughputlab/internal/geo"
 	"throughputlab/internal/netaddr"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/topology"
 )
 
@@ -127,6 +128,9 @@ func New(t *topology.Topology, r *bgp.Routes) *Resolver {
 		delays:     geo.NewDelayMatrix(t.Metros),
 		cache:      newResolverCache(),
 	}
+	// Counters live on a private always-on registry so Stats works out
+	// of the box; Observe rebinds them onto a shared pipeline registry.
+	rv.bindObs(obs.NewRegistry())
 	maxID := topology.RouterID(-1)
 	for _, l := range t.Links() {
 		switch l.Kind {
@@ -308,6 +312,7 @@ func (rv *Resolver) Resolve(src, dst Endpoint, flowKey uint64) (*Path, error) {
 	if dst.AccessLine != nil {
 		p.Links = append(p.Links, dst.AccessLine)
 	}
+	rv.counters.resolveHops.Observe(float64(len(p.Hops)))
 	return p, nil
 }
 
@@ -349,6 +354,7 @@ func (rv *Resolver) computeInterChoices(k interKey) ([]*topology.Link, error) {
 		}
 	}
 	sort.Slice(eq, func(i, j int) bool { return eq[i].ID < eq[j].ID })
+	rv.counters.interCandidates.Observe(float64(len(eq)))
 	return eq, nil
 }
 

@@ -85,25 +85,56 @@ func Generate(cfg Config) (*World, error) {
 		rng:             b.rng,
 	}
 
-	b.buildIXPs()
-	b.buildTransits()
-	b.buildAccess()
-	b.buildContent()
-	b.buildRegionals()
-	b.buildStubs()
-	b.applyCongestion()
-	b.placeMLab()
-	b.placeSpeedtest()
-	b.placeArkVPs()
-	dnsnames.Assign(b.topo, b.rng, cfg.NoPTRFrac)
+	reg := cfg.Obs
+	gen := reg.Span("generate")
+	phase := func(name string, fn func()) {
+		sp := reg.Span("generate." + name)
+		fn()
+		sp.End()
+	}
+	phase("topology", func() {
+		b.buildIXPs()
+		b.buildTransits()
+		b.buildAccess()
+		b.buildContent()
+		b.buildRegionals()
+		b.buildStubs()
+		b.applyCongestion()
+	})
+	phase("placement", func() {
+		b.placeMLab()
+		b.placeSpeedtest()
+		b.placeArkVPs()
+	})
+	phase("dnsnames", func() { dnsnames.Assign(b.topo, b.rng, cfg.NoPTRFrac) })
 
-	if errs := b.topo.Validate(); len(errs) != 0 {
+	var errs []error
+	phase("validate", func() { errs = b.topo.Validate() })
+	if len(errs) != 0 {
+		gen.End()
 		return nil, fmt.Errorf("topogen: generated topology invalid: %v (and %d more)", errs[0], len(errs)-1)
 	}
 
-	b.world.Routes = bgp.Compute(b.topo)
-	b.world.Resolver = routing.New(b.topo, b.world.Routes)
-	b.world.Model = netsim.New(b.topo, b.world.Resolver)
+	phase("bgp", func() { b.world.Routes = bgp.Compute(b.topo) })
+	phase("resolver", func() {
+		b.world.Resolver = routing.New(b.topo, b.world.Routes)
+		b.world.Resolver.Observe(reg)
+	})
+	phase("netsim", func() { b.world.Model = netsim.New(b.topo, b.world.Resolver) })
+	gen.End()
+
+	if reg != nil {
+		st := b.topo.CollectStats()
+		reg.Gauge("topogen.ases").Set(int64(st.ASes))
+		reg.Gauge("topogen.routers").Set(int64(st.Routers))
+		reg.Gauge("topogen.links").Set(int64(st.Links))
+		reg.Gauge("topogen.links.interdomain").Set(int64(st.ByLink[topology.LinkInterdomain]))
+		reg.Gauge("topogen.links.saturated").Set(int64(st.SaturatedLinks))
+		reg.Gauge("topogen.mlab.sites").Set(int64(len(b.world.MLabSites)))
+		reg.Gauge("topogen.mlab.servers").Set(int64(len(b.world.MLabServers())))
+		reg.Gauge("topogen.speedtest.servers").Set(int64(len(b.world.Speedtest)))
+		reg.Gauge("topogen.ark.vps").Set(int64(len(b.world.ArkVPs)))
+	}
 	return b.world, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"throughputlab/internal/geo"
 	"throughputlab/internal/netaddr"
 	"throughputlab/internal/netsim"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/routing"
 	"throughputlab/internal/topology"
 )
@@ -101,6 +102,10 @@ type Config struct {
 	// SpeedtestFactor scales the number of Speedtest servers (§5.4's
 	// later snapshot grew the fleet ~1.45x while M-Lab stayed flat).
 	SpeedtestFactor float64
+	// Obs, when non-nil, receives generation phase spans and
+	// produced-entity gauges, and the world's resolver reports its cache
+	// counters there. Instrumentation never changes the generated world.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the standard experiment configuration.
