@@ -48,12 +48,31 @@ func env(b *testing.B) *experiments.Env {
 }
 
 // BenchmarkWorldGeneration measures the substrate build: topology,
-// BGP routes, routing indices.
+// BGP routes, routing indices. Sub-benchmarks sweep scale (small,
+// medium) and generation worker count; the generated world is
+// byte-identical at every worker count, so w4 vs w1 is pure speedup.
 func BenchmarkWorldGeneration(b *testing.B) {
-	cfg := topogen.SmallConfig()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		topogen.MustGenerate(cfg)
+	for _, sc := range []struct {
+		name string
+		cfg  topogen.Config
+	}{
+		{"small", topogen.SmallConfig()},
+		{"medium", topogen.DefaultConfig()},
+	} {
+		for _, workers := range []int{1, 4} {
+			name := sc.name
+			if workers != 1 {
+				name = fmt.Sprintf("%s/w%d", sc.name, workers)
+			}
+			cfg := sc.cfg
+			cfg.Workers = workers
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					topogen.MustGenerate(cfg)
+				}
+			})
+		}
 	}
 }
 

@@ -79,6 +79,8 @@ func benchCmd(args []string) error {
 	note := fs.String("note", "", "free-form note embedded in the baseline")
 	mediumTests := fs.Int("medium-tests", 8000, "corpus size for the medium-scale collection measurement")
 	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the parallel collection measurement")
+	genWorkers := fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count for the parallel generation measurement")
+	quick := fs.Bool("quick", false, "CI smoke mode: small-scale measurements only")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,13 +97,40 @@ func benchCmd(args []string) error {
 		Note:       *note,
 	}
 
-	fmt.Fprintln(os.Stderr, "bench: world generation (small)...")
-	b.Benchmarks = append(b.Benchmarks, record("WorldGeneration/small", testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			topogen.MustGenerate(topogen.SmallConfig())
+	// World generation at one worker (comparable with earlier
+	// baselines) and at -genworkers; medium scale tracks scaling
+	// behaviour and is skipped in -quick mode.
+	genScales := []struct {
+		name string
+		cfg  topogen.Config
+	}{{"small", topogen.SmallConfig()}}
+	if !*quick {
+		genScales = append(genScales, struct {
+			name string
+			cfg  topogen.Config
+		}{"medium", topogen.DefaultConfig()})
+	}
+	genCounts := []int{1}
+	if *genWorkers > 1 {
+		genCounts = append(genCounts, *genWorkers)
+	}
+	for _, gs := range genScales {
+		for _, n := range genCounts {
+			name := "WorldGeneration/" + gs.name
+			if n != 1 {
+				name = fmt.Sprintf("%s/w%d", name, n)
+			}
+			cfg := gs.cfg
+			cfg.Workers = n
+			fmt.Fprintf(os.Stderr, "bench: world generation (%s, %d workers)...\n", gs.name, n)
+			b.Benchmarks = append(b.Benchmarks, record(name, testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					topogen.MustGenerate(cfg)
+				}
+			})))
 		}
-	})))
+	}
 
 	w := topogen.MustGenerate(topogen.SmallConfig())
 	households := platform.BuildPopulation(w, 10, 8)
@@ -148,29 +177,40 @@ func benchCmd(args []string) error {
 		}
 	})))
 
-	fmt.Fprintln(os.Stderr, "bench: corpus collection (small, serial)...")
-	smallCfg := platform.DefaultCollect()
-	smallCfg.Tests = 2000
-	smallCfg.PerPoolClients = 10
-	b.Benchmarks = append(b.Benchmarks, record("CorpusCollection/small", testing.Benchmark(func(tb *testing.B) {
-		tb.ReportAllocs()
-		for i := 0; i < tb.N; i++ {
-			if _, err := platform.Collect(w, smallCfg); err != nil {
-				tb.Fatal(err)
+	if !*quick {
+		fmt.Fprintln(os.Stderr, "bench: corpus collection (small, serial)...")
+		smallCfg := platform.DefaultCollect()
+		smallCfg.Tests = 2000
+		smallCfg.PerPoolClients = 10
+		b.Benchmarks = append(b.Benchmarks, record("CorpusCollection/small", testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := platform.Collect(w, smallCfg); err != nil {
+					tb.Fatal(err)
+				}
 			}
-		}
-	})))
+		})))
+	}
 
 	// End-to-end wall-time measurements on fresh worlds, so cold-cache
 	// warm-up is included exactly once per scale.
-	for _, scale := range []struct {
+	scales := []struct {
 		name  string
 		cfg   topogen.Config
 		tests int
 	}{
 		{"small", topogen.SmallConfig(), 2000},
-		{"medium", topogen.DefaultConfig(), *mediumTests},
-	} {
+	}
+	if *quick {
+		scales[0].tests = 500
+	} else {
+		scales = append(scales, struct {
+			name  string
+			cfg   topogen.Config
+			tests int
+		}{"medium", topogen.DefaultConfig(), *mediumTests})
+	}
+	for _, scale := range scales {
 		fmt.Fprintf(os.Stderr, "bench: end-to-end collection (%s, %d tests, %d workers)...\n",
 			scale.name, scale.tests, *workers)
 		// The medium run carries an obs registry, so the baseline embeds
@@ -180,6 +220,7 @@ func benchCmd(args []string) error {
 			reg = obs.NewRegistry()
 			scale.cfg.Obs = reg
 		}
+		scale.cfg.Workers = *genWorkers
 		fw := topogen.MustGenerate(scale.cfg)
 		cfg := platform.DefaultCollect()
 		cfg.Tests = scale.tests

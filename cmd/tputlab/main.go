@@ -74,6 +74,9 @@ flags for run/report:
   -tests N               NDT corpus size (0 = scale default)
   -parallel N            engine worker count (default GOMAXPROCS);
                          results are identical for every N
+  -genworkers N          world-generation worker count (default
+                         GOMAXPROCS); the world is byte-identical
+                         for every N
   -metrics               print the phase-span tree and pipeline metrics
                          (cache hit rates, per-shard counts, fallbacks)
                          to stderr; stdout stays byte-identical
@@ -104,6 +107,7 @@ type commonFlags struct {
 	seed        *int64
 	tests       *int
 	workers     *int
+	genWorkers  *int
 	metrics     *bool
 	metricsJSON *string
 }
@@ -115,6 +119,7 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 		seed:        fs.Int64("seed", 1, "generation seed"),
 		tests:       fs.Int("tests", 0, "NDT corpus size override"),
 		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
+		genWorkers:  fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count"),
 		metrics:     fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
 		metricsJSON: fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
 	}
@@ -129,6 +134,7 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 		return experiments.Options{}, nil, err
 	}
 	opts.Topo.Seed = *cf.seed
+	opts.Topo.Workers = *cf.genWorkers
 	if *cf.tests > 0 {
 		opts.Collect.Tests = *cf.tests
 	}

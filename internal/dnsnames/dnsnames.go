@@ -13,9 +13,12 @@
 package dnsnames
 
 import (
-	"math/rand"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"throughputlab/internal/obs"
 	"throughputlab/internal/topology"
 )
 
@@ -72,9 +75,20 @@ func sanitize(s string) string {
 }
 
 // Assign writes DNSName on every interface of the topology. noPTRFrac
-// of interfaces (drawn with rng) get an empty name, simulating missing
-// PTR records.
-func Assign(t *topology.Topology, rng *rand.Rand, noPTRFrac float64) {
+// of interfaces get an empty name, simulating missing PTR records.
+// Draws come from per-AS RNG streams derived from seed, so the result
+// depends only on (topology, seed, noPTRFrac) — see AssignWorkers.
+func Assign(t *topology.Topology, seed int64, noPTRFrac float64) {
+	AssignWorkers(t, seed, noPTRFrac, 1, nil)
+}
+
+// AssignWorkers is Assign sharded per-AS over a worker pool. Each AS
+// gets its own RNG stream derived splitmix-style from (seed, AS index)
+// — the same scheme the platform's CollectParallel uses for shards —
+// and every interface belongs to exactly one AS, so writes are
+// disjoint and the assignment is byte-identical at any worker count.
+// sp, when non-nil, receives one child span per worker.
+func AssignWorkers(t *topology.Topology, seed int64, noPTRFrac float64, workers int, sp *obs.Span) {
 	orgName := func(asn topology.ASN) string {
 		as := t.AS(asn)
 		if as == nil {
@@ -85,31 +99,100 @@ func Assign(t *topology.Topology, rng *rand.Rand, noPTRFrac float64) {
 		}
 		return as.Name
 	}
-	for _, l := range t.Links() {
-		ifaces := []*topology.Interface{l.A, l.B}
-		for _, ifc := range ifaces {
-			if ifc == nil || ifc.Addr.IsZero() {
-				continue
-			}
-			if rng.Float64() < noPTRFrac {
-				ifc.DNSName = ""
-				continue
-			}
-			domain := Domain(orgName(ifc.Router.AS))
-			switch l.Kind {
-			case topology.LinkInterdomain:
-				var peerASN topology.ASN
-				if l.A == ifc {
-					peerASN = l.ASB()
-				} else {
-					peerASN = l.ASA()
+	// Intern one domain and one peer token per AS up front; the old
+	// per-interface Domain/PeerToken calls dominated the allocation
+	// profile of world generation.
+	asns := t.ASNs()
+	domains := make(map[topology.ASN]string, len(asns))
+	tokens := make(map[topology.ASN]string, len(asns))
+	for _, asn := range asns {
+		name := orgName(asn)
+		domains[asn] = Domain(name)
+		tokens[asn] = PeerToken(name)
+	}
+
+	assignAS := func(i int) {
+		as := t.AS(asns[i])
+		rng := splitmix{state: uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15}
+		domain := domains[as.ASN]
+		for _, r := range as.Routers {
+			// All intra-domain interfaces on a router share one name;
+			// interdomain ones share its suffix. Build it once.
+			fqdn := r.Name + "." + domain
+			for _, ifc := range r.Ifaces {
+				if ifc.Addr.IsZero() {
+					continue
 				}
-				ifc.DNSName = PeerToken(orgName(peerASN)) + "." + ifc.Router.Name + "." + domain
-			default:
-				ifc.DNSName = ifc.Router.Name + "." + domain
+				if rng.Float64() < noPTRFrac {
+					ifc.DNSName = ""
+					continue
+				}
+				l := ifc.Link
+				if l.Kind == topology.LinkInterdomain {
+					var peer topology.ASN
+					if l.A == ifc {
+						peer = l.ASB()
+					} else {
+						peer = l.ASA()
+					}
+					tok, ok := tokens[peer]
+					if !ok {
+						tok = PeerToken(orgName(peer))
+					}
+					ifc.DNSName = tok + "." + fqdn
+				} else {
+					ifc.DNSName = fqdn
+				}
 			}
 		}
 	}
+
+	if workers <= 1 {
+		for i := range asns {
+			assignAS(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := sp.Child(fmt.Sprintf("dnsnames.worker.%02d", w))
+			defer ws.End()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(asns) {
+					return
+				}
+				assignAS(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// splitmix is a SplitMix64 generator: one uint64 of state, no
+// allocation. Each AS gets a state offset by the golden-ratio step
+// from the master seed — the same derivation the platform package's
+// shardSeed uses — so streams are decorrelated across ASes and from
+// the master stream, and a worker picking up AS i always replays the
+// identical draw sequence.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits, like
+// math/rand's Float64.
+func (s *splitmix) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
 }
 
 // RouterFQDN strips the peer token off an interdomain interface name,

@@ -1,7 +1,6 @@
 package dnsnames
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -56,7 +55,7 @@ func buildNamedNet(t *testing.T, noPTR float64) (*topology.Topology, *topology.L
 		AddrA: p2p.Nth(1), AddrOwnerA: 3356,
 		AddrB: p2p.Nth(2), AddrOwnerB: 3356,
 	})
-	Assign(tp, rand.New(rand.NewSource(1)), noPTR)
+	Assign(tp, 1, noPTR)
 	return tp, link
 }
 
@@ -112,7 +111,7 @@ func TestParallelLinksShareRouterFQDN(t *testing.T) {
 		AddrA: p2p.Nth(1), AddrOwnerA: 3356,
 		AddrB: p2p.Nth(2), AddrOwnerB: 3356,
 	})
-	Assign(tp, rand.New(rand.NewSource(2)), 0)
+	Assign(tp, 2, 0)
 	if RouterFQDN(link1.A.DNSName) != RouterFQDN(link2.A.DNSName) {
 		t.Errorf("parallel links group differently: %q vs %q",
 			RouterFQDN(link1.A.DNSName), RouterFQDN(link2.A.DNSName))

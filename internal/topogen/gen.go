@@ -3,6 +3,8 @@ package topogen
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"sort"
 	"strings"
 
 	"throughputlab/internal/bgp"
@@ -10,6 +12,7 @@ import (
 	"throughputlab/internal/dnsnames"
 	"throughputlab/internal/netaddr"
 	"throughputlab/internal/netsim"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/routing"
 	"throughputlab/internal/topology"
 )
@@ -21,14 +24,17 @@ type builder struct {
 	topo   *topology.Topology
 	alloc  *topology.Allocator
 	metros []string // metro codes, weight-descending
+	// cities interns metro code → city name (ReplaceAll output), shared
+	// by every router name in that metro.
+	cities map[string]string
 
 	// per-AS state
 	asAlloc map[topology.ASN]*topology.Allocator
 	cores   map[topology.ASN]map[string]*topology.Router
-	// border router pools per (AS, metro); a new edge router is opened
-	// every borderFanout neighbors.
-	borders     map[topology.ASN]map[string][]*topology.Router
-	borderCount map[topology.ASN]map[string]int
+	// border router pools per (AS, metro, role); a new edge router is
+	// opened every borderFanout neighbors.
+	borders     map[topology.ASN]map[brKey][]*topology.Router
+	borderCount map[topology.ASN]map[brKey]int
 
 	transits  map[string]*datasets.TransitProfile
 	access    map[string]*AccessNet
@@ -43,6 +49,13 @@ type builder struct {
 
 const borderFanout = 24
 
+// brKey identifies a border-router pool without building a composite
+// string per lookup (borderRouter runs once per interconnect end).
+type brKey struct {
+	metro string
+	role  string
+}
+
 // Generate builds the world.
 func Generate(cfg Config) (*World, error) {
 	if cfg.Scale.StubASes == 0 {
@@ -55,20 +68,26 @@ func Generate(cfg Config) (*World, error) {
 		cfg.SpeedtestFactor = 1
 	}
 	metros := datasets.USMetros()
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	b := &builder{
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		topo:        topology.New(metros),
 		alloc:       topology.NewAllocator(netaddr.MustParsePrefix("16.0.0.0/4")),
+		cities:      make(map[string]string, len(metros)),
 		asAlloc:     make(map[topology.ASN]*topology.Allocator),
 		cores:       make(map[topology.ASN]map[string]*topology.Router),
-		borders:     make(map[topology.ASN]map[string][]*topology.Router),
-		borderCount: make(map[topology.ASN]map[string]int),
+		borders:     make(map[topology.ASN]map[brKey][]*topology.Router),
+		borderCount: make(map[topology.ASN]map[brKey]int),
 		transits:    make(map[string]*datasets.TransitProfile),
 		access:      make(map[string]*AccessNet),
 		ixps:        make(map[string]*topology.IXP),
 		ixpCursor:   make(map[*topology.IXP]uint64),
 	}
+	b.topo.Reserve(b.expectedRouters(), b.expectedLinks())
 	codes := make([]string, len(metros))
 	for i, m := range metros {
 		codes[i] = m.Code
@@ -87,12 +106,14 @@ func Generate(cfg Config) (*World, error) {
 
 	reg := cfg.Obs
 	gen := reg.Span("generate")
-	phase := func(name string, fn func()) {
+	// phase hands each stage its span so parallel stages can attach
+	// per-worker child spans to it.
+	phase := func(name string, fn func(sp *obs.Span)) {
 		sp := reg.Span("generate." + name)
-		fn()
+		fn(sp)
 		sp.End()
 	}
-	phase("topology", func() {
+	phase("topology", func(*obs.Span) {
 		b.buildIXPs()
 		b.buildTransits()
 		b.buildAccess()
@@ -101,29 +122,34 @@ func Generate(cfg Config) (*World, error) {
 		b.buildStubs()
 		b.applyCongestion()
 	})
-	phase("placement", func() {
+	phase("placement", func(*obs.Span) {
 		b.placeMLab()
 		b.placeSpeedtest()
 		b.placeArkVPs()
 	})
-	phase("dnsnames", func() { dnsnames.Assign(b.topo, b.rng, cfg.NoPTRFrac) })
+	phase("dnsnames", func(sp *obs.Span) {
+		dnsnames.AssignWorkers(b.topo, cfg.Seed, cfg.NoPTRFrac, workers, sp)
+	})
 
 	var errs []error
-	phase("validate", func() { errs = b.topo.Validate() })
+	phase("validate", func(sp *obs.Span) { errs = b.topo.ValidateWorkers(workers, sp) })
 	if len(errs) != 0 {
 		gen.End()
 		return nil, fmt.Errorf("topogen: generated topology invalid: %v (and %d more)", errs[0], len(errs)-1)
 	}
 
-	phase("bgp", func() { b.world.Routes = bgp.Compute(b.topo) })
-	phase("resolver", func() {
+	phase("bgp", func(sp *obs.Span) { b.world.Routes = bgp.ComputeWorkers(b.topo, workers, sp) })
+	phase("resolver", func(*obs.Span) {
 		b.world.Resolver = routing.New(b.topo, b.world.Routes)
 		b.world.Resolver.Observe(reg)
 	})
-	phase("netsim", func() { b.world.Model = netsim.New(b.topo, b.world.Resolver) })
+	phase("netsim", func(*obs.Span) { b.world.Model = netsim.New(b.topo, b.world.Resolver) })
 	gen.End()
 
 	if reg != nil {
+		for _, ph := range []string{"dnsnames", "validate", "bgp"} {
+			reg.Gauge("topogen.workers." + ph).Set(int64(workers))
+		}
 		st := b.topo.CollectStats()
 		reg.Gauge("topogen.ases").Set(int64(st.ASes))
 		reg.Gauge("topogen.routers").Set(int64(st.Routers))
@@ -147,6 +173,26 @@ func MustGenerate(cfg Config) *World {
 	return w
 }
 
+// expectedRouters estimates the final router population from the scale
+// profile so the topology arenas can be presized. Over-estimates waste
+// a little memory; under-estimates only cost extra slab chunks.
+func (b *builder) expectedRouters() int {
+	s := b.cfg.Scale
+	// Fixed infrastructure (transits, access ISPs and their siblings,
+	// content) lands around 1.2-1.5k routers; each stub or regional
+	// contributes a core plus a share of edge/aggregation routers.
+	// (Measured: small scale 1472 routers, default scale 4322.)
+	return 1200 + 2*s.StubASes + 10*s.RegionalISPs
+}
+
+// expectedLinks estimates the final link count (intra mesh + access
+// lines + interdomain), sized like expectedRouters.
+// (Measured: small scale 5387 links, default scale 10562.)
+func (b *builder) expectedLinks() int {
+	s := b.cfg.Scale
+	return 4800 + 4*s.StubASes + 15*s.RegionalISPs
+}
+
 // ---- AS construction primitives ----
 
 // newAS creates an AS with core routers and a meshed backbone in the
@@ -158,8 +204,8 @@ func (b *builder) newAS(org *topology.Org, asn topology.ASN, name string, typ to
 	b.topo.Originate(asn, block)
 	b.asAlloc[asn] = topology.NewAllocator(block)
 	b.cores[asn] = make(map[string]*topology.Router)
-	b.borders[asn] = make(map[string][]*topology.Router)
-	b.borderCount[asn] = make(map[string]int)
+	b.borders[asn] = make(map[brKey][]*topology.Router)
+	b.borderCount[asn] = make(map[brKey]int)
 
 	var prev []*topology.Router
 	for _, m := range metros {
@@ -176,8 +222,13 @@ func (b *builder) newAS(org *topology.Org, asn topology.ASN, name string, typ to
 }
 
 func (b *builder) cityName(metro string) string {
+	if c, ok := b.cities[metro]; ok {
+		return c
+	}
 	m := b.topo.MustMetro(metro)
-	return strings.ReplaceAll(m.Name, " ", "")
+	c := strings.ReplaceAll(m.Name, " ", "")
+	b.cities[metro] = c
+	return c
 }
 
 func (b *builder) hostAddr(asn topology.ASN) netaddr.Addr {
@@ -201,7 +252,7 @@ func (b *builder) intraLink(asn topology.ASN, a, c *topology.Router, capMbps flo
 // which also guarantees that transit THROUGH an AS crosses its core
 // and leaves a visible own-address hop in traceroutes.
 func (b *builder) borderRouter(asn topology.ASN, metro, role string) *topology.Router {
-	key := metro + "/" + role
+	key := brKey{metro: metro, role: role}
 	n := b.borderCount[asn][key]
 	b.borderCount[asn][key] = n + 1
 	pool := b.borders[asn][key]
@@ -399,21 +450,12 @@ func (b *builder) pickInterconnectMetros(p datasets.AccessProfile, transitName s
 		if len(out) >= n+len(forced) {
 			break
 		}
-		if !contains(p.Metros, m) || contains(out, m) {
+		if !slices.Contains(p.Metros, m) || slices.Contains(out, m) {
 			continue
 		}
 		out = append(out, m)
 	}
 	return out
-}
-
-func contains(xs []string, v string) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 func (b *builder) buildAccess() {
@@ -546,10 +588,16 @@ func (b *builder) poolOwner(isp, metro string) topology.ASN {
 	return an.Profile.BackboneASN
 }
 
+// intersect returns the elements of a that also appear in c,
+// preserving a's order (deterministic output for deterministic input).
 func intersect(a, c []string) []string {
+	in := make(map[string]struct{}, len(c))
+	for _, x := range c {
+		in[x] = struct{}{}
+	}
 	var out []string
 	for _, x := range a {
-		if contains(c, x) {
+		if _, ok := in[x]; ok {
 			out = append(out, x)
 		}
 	}
@@ -568,7 +616,7 @@ func (b *builder) connectAccessTransit(p datasets.AccessProfile, an *AccessNet, 
 		// Some interconnects land on the transit's legacy sibling ASN,
 		// multiplying AS-level link pairs (Table 2's 18 Level3-Comcast
 		// AS links).
-		if tr.SiblingASN != 0 && b.rng.Float64() < 0.3 && contains(b.topo.AS(tr.SiblingASN).Metros, m) {
+		if tr.SiblingASN != 0 && b.rng.Float64() < 0.3 && slices.Contains(b.topo.AS(tr.SiblingASN).Metros, m) {
 			tASN = tr.SiblingASN
 		}
 		parallel := 1
@@ -691,10 +739,11 @@ func (b *builder) buildStubs() {
 		metro   string
 		hosting bool
 	}
-	var stubs []stub
+	choose := newWeightedChooser(weights)
+	stubs := make([]stub, 0, b.cfg.Scale.StubASes)
 	for i := 0; i < b.cfg.Scale.StubASes; i++ {
 		asn := topology.ASN(50000 + i)
-		mi := weightedChoice(weights, b.rng)
+		mi := choose.pick(b.rng)
 		metro := metrosOf[mi].Code
 		hosting := b.rng.Float64() < b.cfg.Scale.HostingFrac
 		name := fmt.Sprintf("Stub%d", i+1)
@@ -747,7 +796,7 @@ func (b *builder) buildStubs() {
 					break
 				}
 				s := stubs[si]
-				if !contains(p.Metros, s.metro) || attached[s.asn] > pass {
+				if !slices.Contains(p.Metros, s.metro) || attached[s.asn] > pass {
 					continue
 				}
 				if b.rng.Float64() > 0.5 {
@@ -810,19 +859,44 @@ func (b *builder) buildStubs() {
 	}
 }
 
-func weightedChoice(weights []float64, rng *rand.Rand) int {
+// weightedChooser holds the running prefix sums of a weight vector so
+// repeated draws cost one binary search instead of a linear scan.
+type weightedChooser struct {
+	cum []float64
+}
+
+func newWeightedChooser(weights []float64) *weightedChooser {
+	cum := make([]float64, len(weights))
 	var total float64
-	for _, w := range weights {
-		total += w
-	}
-	r := rng.Float64() * total
 	for i, w := range weights {
-		r -= w
-		if r < 0 {
-			return i
-		}
+		total += w
+		cum[i] = total
 	}
-	return len(weights) - 1
+	return &weightedChooser{cum: cum}
+}
+
+// pick draws an index with probability proportional to its weight,
+// consuming exactly one rng.Float64() like the former linear scan. The
+// linear scan returned the first index whose cumulative weight strictly
+// exceeds the draw, so after SearchFloat64s (which finds >=) the pick
+// skips past exact boundary hits to keep the two draw-identical.
+func (c *weightedChooser) pick(rng *rand.Rand) int {
+	if len(c.cum) == 0 {
+		return -1
+	}
+	r := rng.Float64() * c.cum[len(c.cum)-1]
+	i := sort.SearchFloat64s(c.cum, r)
+	for i < len(c.cum)-1 && c.cum[i] == r {
+		i++
+	}
+	if i == len(c.cum) {
+		i--
+	}
+	return i
+}
+
+func weightedChoice(weights []float64, rng *rand.Rand) int {
+	return newWeightedChooser(weights).pick(rng)
 }
 
 func (b *builder) applyCongestion() {

@@ -1,0 +1,79 @@
+package topogen
+
+import (
+	"math/rand"
+	"testing"
+
+	"throughputlab/internal/datasets"
+)
+
+// linearWeightedChoice is the pre-optimization implementation: a
+// subtractive scan returning the first index whose cumulative weight
+// strictly exceeds the draw. The binary-search version must replay its
+// draws exactly — stub placement feeds the master RNG stream, so any
+// divergence would reshuffle the whole world.
+func linearWeightedChoice(weights []float64, rng *rand.Rand) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func TestWeightedChoiceMatchesLinearScan(t *testing.T) {
+	// The production weight vector first: identical draws here are what
+	// keep the generated world byte-identical across the rewrite.
+	metros := datasets.USMetros()
+	metroWeights := make([]float64, len(metros))
+	for i, m := range metros {
+		metroWeights[i] = m.Weight
+	}
+	vectors := [][]float64{
+		metroWeights,
+		{1},
+		{1, 0, 2},        // zero weight mid-vector
+		{0, 0, 5},        // leading zeros
+		{2, 3, 0},        // trailing zero
+		{0.1, 0.1, 0.1},  // uniform
+		{1e-9, 1, 1e-09}, // extreme spread
+	}
+	for vi, weights := range vectors {
+		chooser := newWeightedChooser(weights)
+		rngA := rand.New(rand.NewSource(int64(vi + 1)))
+		rngB := rand.New(rand.NewSource(int64(vi + 1)))
+		for d := 0; d < 10000; d++ {
+			want := linearWeightedChoice(weights, rngA)
+			got := chooser.pick(rngB)
+			if got != want {
+				t.Fatalf("vector %d draw %d: pick=%d, linear scan=%d", vi, d, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	// Sanity: zero-weight entries are never drawn and the distribution
+	// tracks the weights.
+	weights := []float64{1, 0, 3}
+	chooser := newWeightedChooser(weights)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, len(weights))
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[chooser.pick(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	frac := float64(counts[2]) / n
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("index 2 drawn %.3f of the time, want ~0.75", frac)
+	}
+}

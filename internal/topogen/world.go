@@ -102,6 +102,12 @@ type Config struct {
 	// SpeedtestFactor scales the number of Speedtest servers (§5.4's
 	// later snapshot grew the fleet ~1.45x while M-Lab stayed flat).
 	SpeedtestFactor float64
+	// Workers sets the parallelism of the generation phases that fan
+	// out (BGP route computation, DNS naming, validation). Values < 1
+	// mean serial. The generated world is byte-identical at any worker
+	// count: parallel phases shard deterministically and derive per-shard
+	// RNG streams from Seed rather than sharing the master stream.
+	Workers int
 	// Obs, when non-nil, receives generation phase spans and
 	// produced-entity gauges, and the world's resolver reports its cache
 	// counters there. Instrumentation never changes the generated world.

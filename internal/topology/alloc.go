@@ -51,3 +51,43 @@ func (a *Allocator) MustAlloc(bits int) netaddr.Prefix {
 // Used returns the number of addresses consumed so far (including
 // alignment padding).
 func (a *Allocator) Used() uint64 { return a.next }
+
+// slab is a chunked arena for the topology's node types (routers,
+// links, interfaces). Objects are appended into fixed chunks and
+// referenced by pointer, so one chunk allocation amortizes hundreds of
+// per-object allocations and keeps objects of one kind contiguous for
+// the generation-time scans (Validate, dnsnames, BGP adjacency).
+// Pointers into a chunk stay valid forever: chunks are never resized,
+// only abandoned when full.
+type slab[T any] struct {
+	chunk []T
+	// chunkSize is the capacity of the next chunk; Reserve raises the
+	// first chunk's size to the expected population so steady-state
+	// generation allocates O(population / chunkSize) times.
+	chunkSize int
+}
+
+const defaultSlabChunk = 512
+
+// alloc returns a pointer to a zeroed T from the arena.
+func (s *slab[T]) alloc() *T {
+	if len(s.chunk) == cap(s.chunk) {
+		n := s.chunkSize
+		if n <= 0 {
+			n = defaultSlabChunk
+		}
+		s.chunk = make([]T, 0, n)
+		s.chunkSize = defaultSlabChunk
+	}
+	var zero T
+	s.chunk = append(s.chunk, zero)
+	return &s.chunk[len(s.chunk)-1]
+}
+
+// reserve sizes the next chunk (only effective before first use or
+// after the current chunk fills).
+func (s *slab[T]) reserve(n int) {
+	if n > s.chunkSize {
+		s.chunkSize = n
+	}
+}

@@ -256,12 +256,23 @@ type Topology struct {
 	order []ASN // deterministic iteration order (insertion)
 
 	rel map[[2]ASN]Rel
+	// adj holds the adjacency list behind Neighbors: every ASN that has
+	// ever been related to the key. Maintained by SetRel so Neighbors
+	// is O(degree) instead of a scan over the whole rel map (which the
+	// BGP adjacency build performs once per AS).
+	adj map[ASN][]ASN
 
-	routers map[RouterID]*Router
-	nextRtr RouterID
+	// routers is indexed by RouterID: IDs are assigned sequentially by
+	// AddRouter, so a slice replaces the former map.
+	routers []*Router
 
 	links    []*Link
 	nextLink LinkID
+
+	// Arenas for the node types; see slab in alloc.go.
+	routerSlab slab[Router]
+	linkSlab   slab[Link]
+	ifaceSlab  slab[Interface]
 
 	IXPs []*IXP
 
@@ -282,7 +293,7 @@ func New(metros []geo.Metro) *Topology {
 		metroByID:   make(map[string]geo.Metro, len(metros)),
 		ases:        make(map[ASN]*AS),
 		rel:         make(map[[2]ASN]Rel),
-		routers:     make(map[RouterID]*Router),
+		adj:         make(map[ASN][]ASN),
 		Origin:      netaddr.NewTable[ASN](),
 		IfaceByAddr: make(map[netaddr.Addr]*Interface),
 	}
@@ -290,6 +301,31 @@ func New(metros []geo.Metro) *Topology {
 		t.metroByID[m.Code] = m
 	}
 	return t
+}
+
+// Reserve sizes the internal arenas and indices for an expected
+// population (routers, links; interfaces and the address index are
+// derived as ~2 per link). Generators that know their scale call it
+// once up front; under-estimates only cost extra chunk allocations.
+func (t *Topology) Reserve(routers, links int) {
+	if routers > 0 {
+		t.routerSlab.reserve(routers)
+		if cap(t.routers) < routers {
+			grown := make([]*Router, len(t.routers), routers)
+			copy(grown, t.routers)
+			t.routers = grown
+		}
+	}
+	if links > 0 {
+		t.linkSlab.reserve(links)
+		t.ifaceSlab.reserve(2 * links)
+		if len(t.links) == 0 && cap(t.links) < links {
+			t.links = make([]*Link, 0, links)
+		}
+		if len(t.IfaceByAddr) == 0 {
+			t.IfaceByAddr = make(map[netaddr.Addr]*Interface, 2*links)
+		}
+	}
 }
 
 // Metro returns the metro with the given code.
@@ -331,6 +367,10 @@ func (t *Topology) NumASes() int { return len(t.ases) }
 // SetRel records the relationship between a and b, from a's
 // perspective, and the inverse for b.
 func (t *Topology) SetRel(a, b ASN, r Rel) {
+	if _, seen := t.rel[[2]ASN{a, b}]; !seen {
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
 	t.rel[[2]ASN{a, b}] = r
 	t.rel[[2]ASN{b, a}] = r.Invert()
 }
@@ -340,10 +380,11 @@ func (t *Topology) RelOf(a, b ASN) Rel { return t.rel[[2]ASN{a, b}] }
 
 // Neighbors returns the ASes adjacent to a, sorted by ASN.
 func (t *Topology) Neighbors(a ASN) []ASN {
-	var out []ASN
-	for k, r := range t.rel {
-		if k[0] == a && r != RelNone {
-			out = append(out, k[1])
+	adj := t.adj[a]
+	out := make([]ASN, 0, len(adj))
+	for _, b := range adj {
+		if t.rel[[2]ASN{a, b}] != RelNone {
+			out = append(out, b)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -365,15 +406,23 @@ func (t *Topology) AddRouter(asn ASN, metro string, kind RouterKind, name string
 	if _, ok := t.metroByID[metro]; !ok {
 		panic(fmt.Sprintf("topology: AddRouter in unknown metro %q", metro))
 	}
-	r := &Router{ID: t.nextRtr, AS: asn, Metro: metro, Kind: kind, Name: name}
-	t.nextRtr++
-	t.routers[r.ID] = r
+	r := t.routerSlab.alloc()
+	*r = Router{ID: RouterID(len(t.routers)), AS: asn, Metro: metro, Kind: kind, Name: name}
+	t.routers = append(t.routers, r)
 	a.Routers = append(a.Routers, r)
 	return r
 }
 
 // Router returns the router with the given ID, or nil.
-func (t *Topology) Router(id RouterID) *Router { return t.routers[id] }
+func (t *Topology) Router(id RouterID) *Router {
+	if id < 0 || int(id) >= len(t.routers) {
+		return nil
+	}
+	return t.routers[id]
+}
+
+// Routers returns all routers in ID order (ground truth).
+func (t *Topology) Routers() []*Router { return t.routers }
 
 // NumRouters returns the number of routers.
 func (t *Topology) NumRouters() int { return len(t.routers) }
@@ -396,7 +445,8 @@ type LinkSpec struct {
 // registering both interfaces. For access lines rb may be nil and AddrB
 // zero.
 func (t *Topology) AddLink(ra, rb *Router, spec LinkSpec) *Link {
-	l := &Link{
+	l := t.linkSlab.alloc()
+	*l = Link{
 		ID:           t.nextLink,
 		Kind:         spec.Kind,
 		Metro:        spec.Metro,
@@ -406,7 +456,8 @@ func (t *Topology) AddLink(ra, rb *Router, spec LinkSpec) *Link {
 		IXP:          spec.IXP,
 	}
 	t.nextLink++
-	ifA := &Interface{Addr: spec.AddrA, Router: ra, Link: l, AddrOwner: spec.AddrOwnerA}
+	ifA := t.ifaceSlab.alloc()
+	*ifA = Interface{Addr: spec.AddrA, Router: ra, Link: l, AddrOwner: spec.AddrOwnerA}
 	l.A = ifA
 	ra.Ifaces = append(ra.Ifaces, ifA)
 	if !spec.AddrA.IsZero() {
@@ -416,7 +467,8 @@ func (t *Topology) AddLink(ra, rb *Router, spec LinkSpec) *Link {
 		t.IfaceByAddr[spec.AddrA] = ifA
 	}
 	if rb != nil {
-		ifB := &Interface{Addr: spec.AddrB, Router: rb, Link: l, AddrOwner: spec.AddrOwnerB}
+		ifB := t.ifaceSlab.alloc()
+		*ifB = Interface{Addr: spec.AddrB, Router: rb, Link: l, AddrOwner: spec.AddrOwnerB}
 		l.B = ifB
 		rb.Ifaces = append(rb.Ifaces, ifB)
 		if !spec.AddrB.IsZero() {

@@ -2,6 +2,11 @@ package topology
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"throughputlab/internal/obs"
 )
 
 // Validate checks structural invariants of the topology and returns all
@@ -22,39 +27,166 @@ import (
 //   - every client pool prefix is originated by its AS;
 //   - the link's metro matches both routers' metros for interdomain
 //     links (interdomain interconnection is physically local, §4.3).
-func (t *Topology) Validate() []error {
+func (t *Topology) Validate() []error { return t.ValidateWorkers(1, nil) }
+
+// checkShard is one independently-checkable slice of the topology; its
+// position in the shard list fixes where its errors land in the merged
+// result, so the output is identical for every worker count.
+type checkShard func() []error
+
+// ValidateWorkers is Validate with the per-AS and per-link checks
+// sharded over a worker pool. Shards are fixed work slices (AS ranges,
+// link ranges) checked in deterministic iteration order, and their
+// error lists are concatenated in shard order — the result is
+// byte-identical to the serial Validate regardless of workers or
+// scheduling. sp, when non-nil, receives one child span per worker.
+func (t *Topology) ValidateWorkers(workers int, sp *obs.Span) []error {
+	if workers < 1 {
+		workers = 1
+	}
+	// Shard the AS-indexed checks (relationships, client pools) over
+	// t.order ranges and the link checks over index ranges. Chunks are
+	// sized for a few shards per worker so stragglers even out.
+	var shards []checkShard
+	chunk := func(n int) int {
+		c := (n + workers*4 - 1) / (workers * 4)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	for lo, step := 0, chunk(len(t.order)); lo < len(t.order); lo += step {
+		hi := min(lo+step, len(t.order))
+		asns := t.order[lo:hi]
+		shards = append(shards, func() []error { return t.checkRelationships(asns) })
+	}
+	shards = append(shards, t.checkDanglingRels)
+	for lo, step := 0, chunk(len(t.routers)); lo < len(t.routers); lo += step {
+		hi := min(lo+step, len(t.routers))
+		rs, base := t.routers[lo:hi], lo
+		shards = append(shards, func() []error { return t.checkRouters(rs, base) })
+	}
+	for lo, step := 0, chunk(len(t.links)); lo < len(t.links); lo += step {
+		hi := min(lo+step, len(t.links))
+		ls := t.links[lo:hi]
+		shards = append(shards, func() []error { return t.checkLinks(ls) })
+	}
+	shards = append(shards, t.checkIfaceIndex)
+	for lo, step := 0, chunk(len(t.order)); lo < len(t.order); lo += step {
+		hi := min(lo+step, len(t.order))
+		asns := t.order[lo:hi]
+		shards = append(shards, func() []error { return t.checkClientPools(asns) })
+	}
+
+	out := make([][]error, len(shards))
+	if workers == 1 {
+		for i, s := range shards {
+			out[i] = s()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := sp.Child(fmt.Sprintf("validate.worker.%02d", w))
+				defer ws.End()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(shards) {
+						return
+					}
+					out[i] = shards[i]()
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	var errs []error
+	for _, e := range out {
+		errs = append(errs, e...)
+	}
+	return errs
+}
+
+// checkRelationships validates the relationship entries whose first AS
+// is in asns, in (t.order, neighbor-ASN) order.
+func (t *Topology) checkRelationships(asns []ASN) []error {
+	var errs []error
+	for _, a := range asns {
+		adj := append([]ASN(nil), t.adj[a]...)
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		for _, b := range adj {
+			r := t.rel[[2]ASN{a, b}]
+			if r == RelNone {
+				continue
+			}
+			if t.ases[b] == nil {
+				errs = append(errs, fmt.Errorf("relationship %v-%v references unknown AS", a, b))
+				continue
+			}
+			if inv := t.rel[[2]ASN{b, a}]; inv != r.Invert() {
+				errs = append(errs, fmt.Errorf("asymmetric relationship %v-%v: %v vs %v", a, b, r, inv))
+			}
+			if r == RelSibling && !t.SameOrg(a, b) {
+				errs = append(errs, fmt.Errorf("sibling relationship %v-%v across organizations", a, b))
+			}
+		}
+	}
+	return errs
+}
+
+// checkDanglingRels reports relationships recorded for ASes that were
+// never registered (their entries are invisible to the per-AS pass,
+// which walks registered ASes only).
+func (t *Topology) checkDanglingRels() []error {
+	var unknown []ASN
+	for a := range t.adj {
+		if t.ases[a] == nil {
+			unknown = append(unknown, a)
+		}
+	}
+	sort.Slice(unknown, func(i, j int) bool { return unknown[i] < unknown[j] })
+	var errs []error
+	for _, a := range unknown {
+		adj := append([]ASN(nil), t.adj[a]...)
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		for _, b := range adj {
+			if t.rel[[2]ASN{a, b}] == RelNone {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("relationship %v-%v references unknown AS", a, b))
+		}
+	}
+	return errs
+}
+
+// checkRouters validates a contiguous router range starting at ID base.
+func (t *Topology) checkRouters(rs []*Router, base int) []error {
+	var errs []error
+	for i, r := range rs {
+		if r.ID != RouterID(base+i) {
+			errs = append(errs, fmt.Errorf("router slot %d != ID %d", base+i, r.ID))
+		}
+		if t.ases[r.AS] == nil {
+			errs = append(errs, fmt.Errorf("router %d in unknown AS %d", r.ID, r.AS))
+		}
+		if _, ok := t.metroByID[r.Metro]; !ok {
+			errs = append(errs, fmt.Errorf("router %d in unknown metro %q", r.ID, r.Metro))
+		}
+	}
+	return errs
+}
+
+// checkLinks validates a contiguous link range.
+func (t *Topology) checkLinks(ls []*Link) []error {
 	var errs []error
 	add := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
-
-	for k, r := range t.rel {
-		a, b := k[0], k[1]
-		if t.ases[a] == nil || t.ases[b] == nil {
-			add("relationship %v-%v references unknown AS", a, b)
-			continue
-		}
-		if inv := t.rel[[2]ASN{b, a}]; inv != r.Invert() {
-			add("asymmetric relationship %v-%v: %v vs %v", a, b, r, inv)
-		}
-		if r == RelSibling && !t.SameOrg(a, b) {
-			add("sibling relationship %v-%v across organizations", a, b)
-		}
-	}
-
-	for id, r := range t.routers {
-		if r.ID != id {
-			add("router map key %d != ID %d", id, r.ID)
-		}
-		if t.ases[r.AS] == nil {
-			add("router %d in unknown AS %d", r.ID, r.AS)
-		}
-		if _, ok := t.metroByID[r.Metro]; !ok {
-			add("router %d in unknown metro %q", r.ID, r.Metro)
-		}
-	}
-
-	for _, l := range t.links {
+	for _, l := range ls {
 		switch l.Kind {
 		case LinkInterdomain:
 			if l.B == nil {
@@ -105,27 +237,45 @@ func (t *Topology) Validate() []error {
 				l.ID, l.BaseUtil, l.PeakUtil)
 		}
 	}
+	return errs
+}
 
+// checkIfaceIndex validates the address index. The map scan stays in
+// one shard: the invariant is per-entry and violations are impossible
+// to order deterministically across a split map anyway.
+func (t *Topology) checkIfaceIndex() []error {
+	var errs []error
 	for addr, ifc := range t.IfaceByAddr {
 		if ifc.Addr != addr {
-			add("IfaceByAddr[%v] has address %v", addr, ifc.Addr)
+			errs = append(errs, fmt.Errorf("IfaceByAddr[%v] has address %v", addr, ifc.Addr))
 		}
 	}
+	return errs
+}
 
-	for _, asn := range t.order {
+// checkClientPools validates client pool origination for the given
+// ASes, with per-AS metros visited in sorted order.
+func (t *Topology) checkClientPools(asns []ASN) []error {
+	var errs []error
+	for _, asn := range asns {
 		a := t.ases[asn]
-		for metro, pool := range a.ClientPools {
+		metros := make([]string, 0, len(a.ClientPools))
+		for m := range a.ClientPools {
+			metros = append(metros, m)
+		}
+		sort.Strings(metros)
+		for _, metro := range metros {
+			pool := a.ClientPools[metro]
 			if _, ok := t.metroByID[metro]; !ok {
-				add("AS %d client pool in unknown metro %q", asn, metro)
+				errs = append(errs, fmt.Errorf("AS %d client pool in unknown metro %q", asn, metro))
 			}
 			origin, _, ok := t.Origin.Lookup(pool.Addr())
 			if !ok {
-				add("AS %d client pool %v not originated", asn, pool)
+				errs = append(errs, fmt.Errorf("AS %d client pool %v not originated", asn, pool))
 			} else if origin != asn && !t.SameOrg(origin, asn) {
-				add("AS %d client pool %v originated by unrelated AS %d", asn, pool, origin)
+				errs = append(errs, fmt.Errorf("AS %d client pool %v originated by unrelated AS %d", asn, pool, origin))
 			}
 		}
 	}
-
 	return errs
 }
