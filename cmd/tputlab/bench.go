@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"throughputlab/internal/faults"
 	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/routing"
@@ -45,6 +46,18 @@ type CollectionResult struct {
 	TestsPerSec float64 `json:"tests_per_second"`
 }
 
+// FaultOverhead compares corpus collection with the fault plane off
+// and under the heavy profile on the same world and config. The off
+// number is the cost of the disabled path — the nil-injector branches —
+// and must track CorpusCollection/small across baselines (disabled
+// faults are designed to cost ~0); the ratio is what a heavy profile's
+// retry planning and perturbation add.
+type FaultOverhead struct {
+	OffNsPerOp   float64 `json:"off_ns_per_op"`
+	HeavyNsPerOp float64 `json:"heavy_ns_per_op"`
+	HeavyOverOff float64 `json:"heavy_over_off_ratio"`
+}
+
 // Baseline is the full emitted document.
 type Baseline struct {
 	Date       string             `json:"date"`
@@ -53,6 +66,9 @@ type Baseline struct {
 	Note       string             `json:"note,omitempty"`
 	Benchmarks []BenchResult      `json:"benchmarks"`
 	Collection []CollectionResult `json:"collection"`
+	// FaultOverhead is the clean-vs-heavy fault-profile collection pair
+	// (absent in -quick mode).
+	FaultOverhead *FaultOverhead `json:"fault_overhead,omitempty"`
 	// ResolverCacheHitRates records the resolver cache efficiency over
 	// the medium-scale collection run, as percentages.
 	ResolverCacheHitRates map[string]float64 `json:"resolver_cache_hit_rates"`
@@ -82,6 +98,12 @@ func benchCmd(args []string) error {
 	genWorkers := fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count for the parallel generation measurement")
 	quick := fs.Bool("quick", false, "CI smoke mode: small-scale measurements only")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers("parallel", *workers); err != nil {
+		return err
+	}
+	if err := validateWorkers("genworkers", *genWorkers); err != nil {
 		return err
 	}
 	date := time.Now().UTC().Format("2006-01-02")
@@ -190,6 +212,40 @@ func benchCmd(args []string) error {
 				}
 			}
 		})))
+
+		// Fault-profile pair on the same world/config: the off leg is
+		// the disabled (nil-injector) path, the heavy leg adds retry
+		// planning, truncation and trace perturbation.
+		fmt.Fprintln(os.Stderr, "bench: corpus collection fault overhead (off vs heavy)...")
+		heavyCfg := smallCfg
+		heavyCfg.Faults = faults.Heavy()
+		rOff := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := platform.Collect(w, smallCfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		rHeavy := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := platform.Collect(w, heavyCfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		b.Benchmarks = append(b.Benchmarks,
+			record("CorpusCollection/faults-off", rOff),
+			record("CorpusCollection/faults-heavy", rHeavy))
+		fo := &FaultOverhead{
+			OffNsPerOp:   float64(rOff.T.Nanoseconds()) / float64(rOff.N),
+			HeavyNsPerOp: float64(rHeavy.T.Nanoseconds()) / float64(rHeavy.N),
+		}
+		if fo.OffNsPerOp > 0 {
+			fo.HeavyOverOff = fo.HeavyNsPerOp / fo.OffNsPerOp
+		}
+		b.FaultOverhead = fo
 	}
 
 	// End-to-end wall-time measurements on fresh worlds, so cold-cache

@@ -22,6 +22,7 @@ import (
 
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/experiments"
+	"throughputlab/internal/faults"
 	"throughputlab/internal/obs"
 	"throughputlab/internal/report"
 )
@@ -77,6 +78,13 @@ flags for run/report:
   -genworkers N          world-generation worker count (default
                          GOMAXPROCS); the world is byte-identical
                          for every N
+  -faults PROFILE        deterministic fault injection: off (default),
+                         light, moderate or heavy; degraded data is
+                         skipped by inference and accounted in the
+                         report's data-completeness section
+  -faultseed N           seed for the fault streams (default: -seed);
+                         a fixed profile+seed yields a byte-identical
+                         corpus at every -parallel value
   -metrics               print the phase-span tree and pipeline metrics
                          (cache hit rates, per-shard counts, fallbacks)
                          to stderr; stdout stays byte-identical
@@ -108,6 +116,8 @@ type commonFlags struct {
 	tests       *int
 	workers     *int
 	genWorkers  *int
+	faults      *string
+	faultSeed   *int64
 	metrics     *bool
 	metricsJSON *string
 }
@@ -120,9 +130,22 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 		tests:       fs.Int("tests", 0, "NDT corpus size override"),
 		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
 		genWorkers:  fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count"),
+		faults:      fs.String("faults", "off", "fault-injection profile: off, light, moderate or heavy"),
+		faultSeed:   fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
 		metrics:     fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
 		metricsJSON: fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
 	}
+}
+
+// validateWorkers rejects non-positive worker counts with a usage-style
+// error naming the flag, instead of silently clamping (a -parallel 0
+// passed by a wrapper script is a bug worth surfacing, not a request
+// for serial execution).
+func validateWorkers(flagName string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("-%s must be >= 1 (got %d)", flagName, n)
+	}
+	return nil
 }
 
 // options assembles the experiment Options from the parsed flags,
@@ -133,11 +156,23 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	if err != nil {
 		return experiments.Options{}, nil, err
 	}
+	if err := validateWorkers("parallel", *cf.workers); err != nil {
+		return experiments.Options{}, nil, err
+	}
+	if err := validateWorkers("genworkers", *cf.genWorkers); err != nil {
+		return experiments.Options{}, nil, err
+	}
+	prof, err := faults.ByName(*cf.faults)
+	if err != nil {
+		return experiments.Options{}, nil, err
+	}
 	opts.Topo.Seed = *cf.seed
 	opts.Topo.Workers = *cf.genWorkers
 	if *cf.tests > 0 {
 		opts.Collect.Tests = *cf.tests
 	}
+	opts.Collect.Faults = prof
+	opts.Collect.FaultSeed = *cf.faultSeed
 	opts.Workers = *cf.workers
 	var reg *obs.Registry
 	if *cf.metrics || *cf.metricsJSON != "" {

@@ -34,6 +34,40 @@ func TestScaleValidation(t *testing.T) {
 	}
 }
 
+func TestWorkerCountValidation(t *testing.T) {
+	// Zero or negative worker counts are a usage error on every
+	// subcommand that accepts them, raised before any world is built.
+	cases := [][]string{
+		{"-parallel", "0"},
+		{"-parallel", "-3"},
+		{"-genworkers", "0"},
+		{"-genworkers", "-1"},
+	}
+	for _, c := range cases {
+		if err := runCmd(append([]string{"table1", "-scale", "small"}, c...)); err == nil {
+			t.Errorf("run %v accepted, want error", c)
+		}
+		if err := reportCmd(append([]string{"-scale", "small"}, c...)); err == nil {
+			t.Errorf("report %v accepted, want error", c)
+		}
+		if err := benchCmd(append([]string{"-quick"}, c...)); err == nil {
+			t.Errorf("bench %v accepted, want error", c)
+		}
+	}
+	if err := validateWorkers("parallel", 1); err != nil {
+		t.Errorf("validateWorkers(1): %v", err)
+	}
+}
+
+func TestFaultProfileValidation(t *testing.T) {
+	if err := runCmd([]string{"table1", "-scale", "small", "-faults", "nosuch"}); err == nil {
+		t.Error("unknown -faults profile accepted on run")
+	}
+	if err := reportCmd([]string{"-scale", "small", "-faults", "nosuch"}); err == nil {
+		t.Error("unknown -faults profile accepted on report")
+	}
+}
+
 func TestRunCmdSmokeTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a world")

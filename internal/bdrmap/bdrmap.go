@@ -136,8 +136,13 @@ func (az *Analyzer) Inference() *mapit.Inference { return az.inf }
 // FirstCrossing finds where a trace first leaves the VP network: the
 // last org-operated hop and the first hop operated by someone else.
 // ok is false when the trace never visibly leaves (intra-network
-// destination, unresponsive border, or inference gaps).
+// destination, unresponsive border, or inference gaps) and always for
+// degraded traces — a hop lost to the fault layer exactly at the border
+// would attribute the crossing to the wrong neighbor.
 func (az *Analyzer) FirstCrossing(tr *traceroute.Trace) (Crossing, bool) {
+	if tr.Degraded {
+		return Crossing{}, false
+	}
 	addrs := tr.ResponsiveAddrs()
 	end := len(addrs)
 	if tr.Reached {
@@ -178,12 +183,17 @@ func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
 	reg := az.opts.MapIt.Obs
 	matched := reg.Counter("bdrmap.crossings.matched")
 	unmatched := reg.Counter("bdrmap.crossings.unmatched")
+	skippedDegraded := reg.Counter("bdrmap.traces.skipped_degraded")
 	type agg struct {
 		traces int
 		pairs  map[[2]int]bool
 	}
 	byNeighbor := map[topology.ASN]*agg{}
 	for _, tr := range traces {
+		if tr.Degraded {
+			skippedDegraded.Inc()
+			continue
+		}
 		c, ok := az.FirstCrossing(tr)
 		if !ok {
 			unmatched.Inc()

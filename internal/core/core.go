@@ -32,12 +32,28 @@ const (
 	WindowAround
 )
 
+// PairDegraded reports whether a matched (test, trace) pair is unfit
+// for path-sensitive analysis: the trace was maimed by the fault layer,
+// or the test record is a truncated transfer whose web100 snapshot is
+// incomplete. Clean campaigns never produce such pairs, so degradation
+// awareness costs them nothing.
+func PairDegraded(t *ndt.Test, tr *traceroute.Trace) bool {
+	if tr != nil && tr.Degraded {
+		return true
+	}
+	return t != nil && (t.Truncated || !t.Web100.Complete())
+}
+
 // Matching is the result of associating tests with traceroutes.
 type Matching struct {
 	// ByTest maps test ID → its associated traceroute.
 	ByTest map[int]*traceroute.Trace
 	// Total is the number of tests considered.
 	Total int
+	// Degraded counts matched pairs that PairDegraded rejects:
+	// associated, but unusable for path-sensitive analysis. Always 0 on
+	// clean corpora.
+	Degraded int
 }
 
 // Matched returns the number of associated tests.
@@ -98,6 +114,9 @@ func MatchTraces(tests []*ndt.Test, traces []*traceroute.Trace, windowMin int, m
 			}
 			used[tr] = true
 			m.ByTest[t.ID] = tr
+			if PairDegraded(t, tr) {
+				m.Degraded++
+			}
 			break
 		}
 	}
@@ -243,15 +262,17 @@ func (h HopBuckets) FracOne() float64 {
 
 // ASHopDistribution buckets matched tests by AS hop count between the
 // server and client organizations, keyed by a caller-supplied group
-// label (Figure 1 groups by client ISP). Tests without a matched trace
-// or whose trace yields fewer than two org hops are skipped.
+// label (Figure 1 groups by client ISP). Tests without a matched trace,
+// degraded pairs (a maimed trace's hop count would be an artifact of
+// probe loss, not topology), or traces yielding fewer than two org hops
+// are skipped.
 func ASHopDistribution(tests []*ndt.Test, m *Matching, inf *mapit.Inference,
 	groupOf func(*ndt.Test) string) map[string]*HopBuckets {
 
 	out := map[string]*HopBuckets{}
 	for _, t := range tests {
 		tr := m.ByTest[t.ID]
-		if tr == nil {
+		if tr == nil || PairDegraded(t, tr) {
 			continue
 		}
 		path := inf.ASPathOf(tr)
@@ -301,7 +322,10 @@ func LinkDiversity(tests []*ndt.Test, m *Matching, inf *mapit.Inference,
 	agg := map[string]map[uint32]*LinkUse{}
 	for _, t := range tests {
 		tr := m.ByTest[t.ID]
-		if tr == nil {
+		// Degraded pairs are excluded: a rate-limited trace joins hops
+		// across the suppressed run, manufacturing interdomain crossings
+		// that do not exist.
+		if tr == nil || PairDegraded(t, tr) {
 			continue
 		}
 		g, ok := groupOf(t, tr)

@@ -99,6 +99,7 @@ func NewEnv(opts Options) (*Env, error) {
 	e.Matching = core.MatchTraces(corpus.Tests, corpus.Traces, 10, core.WindowAfter)
 	sp.End()
 	reg.Gauge("match.pairs").Set(int64(e.Matching.Matched()))
+	reg.Gauge("match.degraded").Set(int64(e.Matching.Degraded))
 	return e, nil
 }
 

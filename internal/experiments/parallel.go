@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"throughputlab/internal/obs"
+	"throughputlab/internal/platform"
 	"throughputlab/internal/routing"
 )
 
@@ -44,6 +45,15 @@ type RunStats struct {
 	// has no presence in — a topology bug the metro-keyed caches would
 	// otherwise mask.
 	Resolver routing.Stats
+	// Completeness is the corpus's fault-plane ledger; the zero value
+	// (clean campaigns) renders nothing.
+	Completeness platform.Completeness
+	// MatchedDegraded counts matched test↔trace pairs excluded from
+	// path-sensitive analyses as degraded.
+	MatchedDegraded int
+	// FaultCounters snapshots the faults.<kind>.<outcome> counters
+	// (nil/empty when the fault plane was off).
+	FaultCounters map[string]uint64
 }
 
 // Summary renders the stats as a small table, slowest experiment
@@ -80,6 +90,27 @@ func (s *RunStats) Summary() string {
 		hitRate(rs.InterHits, rs.InterMisses),
 		hitRate(rs.ASPathHits, rs.ASPathMisses),
 		rs.CoreFallbacks)
+	// Data-completeness block: only campaigns the fault plane actually
+	// touched print it, so clean sweeps stay byte-identical to the
+	// pre-fault-layer output.
+	if c := s.Completeness; c.Degraded() {
+		fmt.Fprintf(&sb, "data completeness: %d/%d tests collected (%d abandoned, %d rows dropped); %d truncated; %d degraded traces; %d matched pairs excluded\n",
+			c.ScheduledTests-c.AbandonedTests-c.DroppedRows, c.ScheduledTests,
+			c.AbandonedTests, c.DroppedRows, c.TruncatedTests, c.DegradedTraces,
+			s.MatchedDegraded)
+	}
+	if len(s.FaultCounters) > 0 {
+		names := make([]string, 0, len(s.FaultCounters))
+		for n := range s.FaultCounters {
+			if s.FaultCounters[n] > 0 {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&sb, "  %-36s %d\n", n, s.FaultCounters[n])
+		}
+	}
 	return sb.String()
 }
 
@@ -153,7 +184,13 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 	wg.Wait()
 	sweep.End()
 
-	stats := &RunStats{Workers: workers, Resolver: e.World.Resolver.Stats()}
+	stats := &RunStats{
+		Workers:         workers,
+		Resolver:        e.World.Resolver.Stats(),
+		Completeness:    e.Corpus.Completeness,
+		MatchedDegraded: e.Matching.Degraded,
+		FaultCounters:   reg.CountersWithPrefix("faults."),
+	}
 	var sb strings.Builder
 	for i := range slots {
 		stats.Experiments = append(stats.Experiments, ExperimentStat{

@@ -1,0 +1,511 @@
+// Package faults is the pipeline's deterministic fault-injection
+// layer. The paper's central theme is inference under an imperfect
+// measurement plane — tests that never complete, traceroutes that lose
+// probes to rate limiters, corpus rows that arrive mangled — and this
+// package gives the simulator a controllable model of exactly those
+// failures so the collection and analysis layers can be exercised (and
+// benchmarked) under degradation instead of assuming perfection.
+//
+// Design rules, in order:
+//
+//   - Off is byte-invisible. A nil *Injector is the canonical disabled
+//     injector: every method on it is a no-op that makes NO random
+//     draws and perturbs NO state, so a campaign with faults disabled
+//     is bit-for-bit the campaign before this layer existed (pinned by
+//     the platform golden tests).
+//   - Deterministic at any worker count. Every draw comes from a
+//     SplitMix64 stream derived from (seed, fault kind, entity) —
+//     never from a shared generator — so whichever goroutine asks, the
+//     answer is the same, and a campaign under a fixed fault profile is
+//     byte-identical at workers 1, 2, or 8.
+//   - Observable. Each fault kind owns injected/retried/recovered/
+//     abandoned counters (faults.<kind>.<outcome>) on the campaign's
+//     obs registry, so a run can always account for what the fault
+//     plane did to it.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"throughputlab/internal/obs"
+	"throughputlab/internal/traceroute"
+)
+
+// Kind enumerates the modeled measurement-plane failures.
+type Kind int
+
+const (
+	// ServerOutage is a per-(metro, day) window during which a metro's
+	// M-Lab servers refuse tests (maintenance, power, uplink loss).
+	ServerOutage Kind = iota
+	// TestAbort is an NDT test attempt that dies before producing a
+	// record (client gave up, server reset the control connection).
+	TestAbort
+	// TestTruncation is a test cut off mid-transfer: a record exists
+	// but its web100 snapshot covers only the delivered prefix.
+	TestTruncation
+	// TraceProbeLoss is per-probe traceroute loss beyond the static
+	// artifact rates: individual hops time out.
+	TraceProbeLoss
+	// TraceRateLimit is an ICMP rate limiter suppressing a run of
+	// consecutive hop replies.
+	TraceRateLimit
+	// RowCorruption is a corpus row mangled between collection and
+	// publication; the row is dropped.
+	RowCorruption
+	// ShardFailure is a transient collector-shard failure: the shard's
+	// scheduling work is lost and redone.
+	ShardFailure
+
+	numKinds
+	// retryStream keys the backoff-jitter draws; it is not a fault
+	// kind and owns no counters.
+	retryStream
+)
+
+var kindNames = [numKinds]string{
+	"server_outage", "test_abort", "test_truncation",
+	"trace_probe_loss", "trace_rate_limit", "row_corruption",
+	"shard_failure",
+}
+
+// String returns the counter-name token of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds returns all fault kinds in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Profile is one named set of fault rates plus the retry policy the
+// collection layer applies against them. The zero Profile is fully
+// disabled.
+type Profile struct {
+	Name string
+	// OutageProb is the per-(metro, day) probability that an outage
+	// window of OutageMinutes opens somewhere in that day.
+	OutageProb    float64
+	OutageMinutes int
+	// AbortProb is the per-attempt probability an NDT test dies.
+	AbortProb float64
+	// TruncateProb is the probability a completed test was cut off
+	// mid-transfer (partial web100 snapshot).
+	TruncateProb float64
+	// ProbeLossProb is the extra per-hop traceroute loss rate.
+	ProbeLossProb float64
+	// RateLimitProb is the per-trace probability an ICMP rate limiter
+	// blanks a run of consecutive hops.
+	RateLimitProb float64
+	// RowCorruptProb is the probability a published test row is
+	// corrupted and must be dropped.
+	RowCorruptProb float64
+	// ShardFailProb is the per-attempt probability a collector shard
+	// fails transiently and redoes its scheduling work.
+	ShardFailProb float64
+
+	// MaxRetries bounds retry attempts beyond the first try for
+	// launch-blocking faults (aborts, outages) and shard failures.
+	MaxRetries int
+	// BackoffBaseMin is the first retry delay in simulated minutes; it
+	// doubles per attempt, with deterministic jitter in [d, 2d).
+	BackoffBaseMin int
+	// DeadlineMin is the per-test deadline: a retry that would land
+	// more than DeadlineMin simulated minutes after the original
+	// schedule abandons the test instead.
+	DeadlineMin int
+}
+
+// Enabled reports whether any fault rate is nonzero.
+func (p Profile) Enabled() bool {
+	return p.OutageProb > 0 || p.AbortProb > 0 || p.TruncateProb > 0 ||
+		p.ProbeLossProb > 0 || p.RateLimitProb > 0 || p.RowCorruptProb > 0 ||
+		p.ShardFailProb > 0
+}
+
+// Off returns the disabled profile.
+func Off() Profile { return Profile{Name: "off"} }
+
+// Light returns occasional, mostly recoverable failures — a healthy
+// production platform on a bad week.
+func Light() Profile {
+	return Profile{
+		Name:       "light",
+		OutageProb: 0.01, OutageMinutes: 60,
+		AbortProb: 0.01, TruncateProb: 0.01,
+		ProbeLossProb: 0.01, RateLimitProb: 0.02,
+		RowCorruptProb: 0.002, ShardFailProb: 0.05,
+		MaxRetries: 2, BackoffBaseMin: 2, DeadlineMin: 30,
+	}
+}
+
+// Moderate returns sustained background failure — the regime the
+// paper's M-Lab case study actually lived in (lost traceroutes,
+// unresponsive hops, flaky servers).
+func Moderate() Profile {
+	return Profile{
+		Name:       "moderate",
+		OutageProb: 0.05, OutageMinutes: 120,
+		AbortProb: 0.03, TruncateProb: 0.03,
+		ProbeLossProb: 0.02, RateLimitProb: 0.05,
+		RowCorruptProb: 0.01, ShardFailProb: 0.15,
+		MaxRetries: 3, BackoffBaseMin: 2, DeadlineMin: 45,
+	}
+}
+
+// Heavy returns an aggressively broken measurement plane, for
+// robustness tests and race sweeps.
+func Heavy() Profile {
+	return Profile{
+		Name:       "heavy",
+		OutageProb: 0.15, OutageMinutes: 180,
+		AbortProb: 0.08, TruncateProb: 0.08,
+		ProbeLossProb: 0.05, RateLimitProb: 0.10,
+		RowCorruptProb: 0.03, ShardFailProb: 0.35,
+		MaxRetries: 3, BackoffBaseMin: 2, DeadlineMin: 45,
+	}
+}
+
+// ByName resolves a named profile ("" and "off" are the disabled
+// profile).
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "", "off":
+		return Off(), nil
+	case "light":
+		return Light(), nil
+	case "moderate":
+		return Moderate(), nil
+	case "heavy":
+		return Heavy(), nil
+	}
+	return Profile{}, fmt.Errorf("unknown fault profile %q (valid: %v)", name, Names())
+}
+
+// Names lists the named profiles, sorted.
+func Names() []string {
+	out := []string{"off", "light", "moderate", "heavy"}
+	sort.Strings(out)
+	return out
+}
+
+// FaultSet is a bitmask of fault kinds, used to attribute one test
+// attempt's failure to the kinds that caused it.
+type FaultSet uint8
+
+// Has reports whether the set contains k.
+func (fs FaultSet) Has(k Kind) bool { return fs&(1<<uint(k)) != 0 }
+
+func (fs FaultSet) with(k Kind) FaultSet { return fs | 1<<uint(k) }
+
+// Injector draws fault decisions for one campaign. A nil Injector is
+// the disabled fault plane: every method is a draw-free no-op. Build
+// one with NewInjector; all methods are safe for concurrent use (the
+// per-decision streams are derived locally, counters are atomic).
+type Injector struct {
+	seed uint64
+	prof Profile
+	c    [numKinds]kindCounters
+}
+
+type kindCounters struct {
+	injected, retried, recovered, abandoned *obs.Counter
+}
+
+// NewInjector builds the campaign's injector, registering per-kind
+// counters on reg (a nil registry yields no-op counters). A disabled
+// profile returns nil — the canonical off switch.
+func NewInjector(seed int64, p Profile, reg *obs.Registry) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBaseMin < 1 {
+		p.BackoffBaseMin = 1
+	}
+	in := &Injector{seed: uint64(seed), prof: p}
+	for k := Kind(0); k < numKinds; k++ {
+		base := "faults." + k.String() + "."
+		in.c[k] = kindCounters{
+			injected:  reg.Counter(base + "injected"),
+			retried:   reg.Counter(base + "retried"),
+			recovered: reg.Counter(base + "recovered"),
+			abandoned: reg.Counter(base + "abandoned"),
+		}
+	}
+	return in
+}
+
+// Enabled reports whether the fault plane is live.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// Profile returns the injector's profile (the zero Profile when nil).
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.prof
+}
+
+// MaxRetries returns the retry bound (0 when nil).
+func (in *Injector) MaxRetries() int {
+	if in == nil {
+		return 0
+	}
+	return in.prof.MaxRetries
+}
+
+// DeadlineMin returns the per-test retry deadline (0 when nil).
+func (in *Injector) DeadlineMin() int {
+	if in == nil {
+		return 0
+	}
+	return in.prof.DeadlineMin
+}
+
+// splitmix is a SplitMix64 generator (one uint64 of state, no
+// allocation) — the same decorrelation construction the platform's
+// shardSeed and the DNS namer use.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (s *splitmix) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// stream derives the decision stream for (seed, kind, entity). The
+// kind and entity each advance the state by a different odd constant,
+// so streams for different kinds or entities never coincide and the
+// identical stream is rebuilt wherever the decision is asked for.
+func (in *Injector) stream(kind Kind, entity uint64) splitmix {
+	s := in.seed
+	s += (uint64(kind) + 1) * 0xBF58476D1CE4E5B9
+	s += (entity + 1) * 0x9E3779B97F4A7C15
+	return splitmix{state: s}
+}
+
+// hashString folds a string into a stream entity key.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// OutageAt reports whether the metro's servers sit inside an outage
+// window at the given simulated minute. Windows are drawn per
+// (metro, day): one draw decides whether that day has an outage, a
+// second places the window inside the day. A hit counts as one
+// injected server_outage fault (the caller asks once per attempt).
+func (in *Injector) OutageAt(metro string, minute int) bool {
+	if in == nil || in.prof.OutageProb <= 0 {
+		return false
+	}
+	day := minute / 1440
+	if day < 0 {
+		day = 0
+	}
+	s := in.stream(ServerOutage, hashString(metro)+uint64(day)*0x9E3779B97F4A7C15)
+	if s.Float64() >= in.prof.OutageProb {
+		return false
+	}
+	span := in.prof.OutageMinutes
+	if span < 1 {
+		span = 1
+	}
+	if span > 1439 {
+		span = 1439
+	}
+	start := day*1440 + int(s.next()%uint64(1440-span))
+	if minute < start || minute >= start+span {
+		return false
+	}
+	in.c[ServerOutage].injected.Inc()
+	return true
+}
+
+// TestAttempt evaluates the launch-blocking faults for one test
+// attempt: a server outage at the attempt's minute and a probabilistic
+// abort. The returned set is empty when the attempt goes through;
+// injected counters are bumped per fault hit.
+func (in *Injector) TestAttempt(metro string, entity uint64, minute, attempt int) FaultSet {
+	if in == nil {
+		return 0
+	}
+	var fs FaultSet
+	if in.OutageAt(metro, minute) {
+		fs = fs.with(ServerOutage)
+	}
+	if in.prof.AbortProb > 0 {
+		s := in.stream(TestAbort, entity+uint64(attempt)*0x9E3779B97F4A7C15)
+		if s.Float64() < in.prof.AbortProb {
+			in.c[TestAbort].injected.Inc()
+			fs = fs.with(TestAbort)
+		}
+	}
+	return fs
+}
+
+// RetryDelayMin returns the simulated-clock backoff before retry
+// `attempt` (1-based): BackoffBaseMin doubling per attempt, with a
+// deterministic jitter draw in [d, 2d) so synchronized failures do not
+// retry in lockstep.
+func (in *Injector) RetryDelayMin(entity uint64, attempt int) int {
+	if in == nil {
+		return 0
+	}
+	d := in.prof.BackoffBaseMin << uint(attempt-1)
+	if d > 1440 {
+		d = 1440
+	}
+	s := in.stream(retryStream, entity+uint64(attempt)*0xBF58476D1CE4E5B9)
+	return d + int(s.next()%uint64(d))
+}
+
+// Retried records one retry caused by the faults in fs.
+func (in *Injector) Retried(fs FaultSet) { in.count(fs, func(c kindCounters) *obs.Counter { return c.retried }) }
+
+// Recovered records that an entity eventually succeeded after having
+// been failed by the faults in fs.
+func (in *Injector) Recovered(fs FaultSet) {
+	in.count(fs, func(c kindCounters) *obs.Counter { return c.recovered })
+}
+
+// Abandoned records that an entity was permanently lost to the faults
+// in fs.
+func (in *Injector) Abandoned(fs FaultSet) {
+	in.count(fs, func(c kindCounters) *obs.Counter { return c.abandoned })
+}
+
+func (in *Injector) count(fs FaultSet, pick func(kindCounters) *obs.Counter) {
+	if in == nil || fs == 0 {
+		return
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if fs.Has(k) {
+			pick(in.c[k]).Inc()
+		}
+	}
+}
+
+// ShardAttempts returns how many times the given collector shard runs
+// its scheduling work before it sticks: 1 plus the transient failures
+// drawn for it (bounded by MaxRetries — shard failures are transient
+// by definition, so the final attempt always succeeds). Counters:
+// every failed attempt is injected+retried, and a shard that failed at
+// least once counts one recovery.
+func (in *Injector) ShardAttempts(shard int) int {
+	if in == nil || in.prof.ShardFailProb <= 0 {
+		return 1
+	}
+	attempts := 1
+	for a := 0; a < in.prof.MaxRetries; a++ {
+		s := in.stream(ShardFailure, uint64(shard)*0x9E3779B97F4A7C15+uint64(a))
+		if s.Float64() >= in.prof.ShardFailProb {
+			break
+		}
+		in.c[ShardFailure].injected.Inc()
+		in.c[ShardFailure].retried.Inc()
+		attempts++
+	}
+	if attempts > 1 {
+		in.c[ShardFailure].recovered.Inc()
+	}
+	return attempts
+}
+
+// TruncatesTest reports whether the entity's test was cut off
+// mid-transfer and, if so, the fraction of the transfer that completed
+// (in [0.2, 0.8)).
+func (in *Injector) TruncatesTest(entity uint64) (float64, bool) {
+	if in == nil || in.prof.TruncateProb <= 0 {
+		return 0, false
+	}
+	s := in.stream(TestTruncation, entity)
+	if s.Float64() >= in.prof.TruncateProb {
+		return 0, false
+	}
+	in.c[TestTruncation].injected.Inc()
+	return 0.2 + 0.6*s.Float64(), true
+}
+
+// CorruptsRow reports whether the entity's published test row was
+// corrupted and must be dropped (injected and abandoned: there is no
+// retrying a mangled row).
+func (in *Injector) CorruptsRow(entity uint64) bool {
+	if in == nil || in.prof.RowCorruptProb <= 0 {
+		return false
+	}
+	s := in.stream(RowCorruption, entity)
+	if s.Float64() >= in.prof.RowCorruptProb {
+		return false
+	}
+	in.c[RowCorruption].injected.Inc()
+	in.c[RowCorruption].abandoned.Inc()
+	return true
+}
+
+// PerturbTrace applies the traceroute-plane faults to a completed
+// trace: independent per-probe loss and an ICMP rate-limit run
+// suppressing consecutive hops. A trace that lost any reply is marked
+// Degraded — lost hops make adjacent responsive hops look like
+// neighbors, exactly the false-adjacency skew the inference layers
+// must not ingest — and re-normalized so a destination hop lost here
+// cannot remain counted as reached.
+func (in *Injector) PerturbTrace(entity uint64, tr *traceroute.Trace) {
+	if in == nil || tr == nil {
+		return
+	}
+	lost := false
+	if in.prof.ProbeLossProb > 0 {
+		s := in.stream(TraceProbeLoss, entity)
+		for i := range tr.Hops {
+			if !tr.Hops[i].NoReply() && s.Float64() < in.prof.ProbeLossProb {
+				tr.Hops[i] = traceroute.Hop{TTL: tr.Hops[i].TTL}
+				in.c[TraceProbeLoss].injected.Inc()
+				lost = true
+			}
+		}
+	}
+	if in.prof.RateLimitProb > 0 && len(tr.Hops) > 2 {
+		s := in.stream(TraceRateLimit, entity)
+		if s.Float64() < in.prof.RateLimitProb {
+			start := 1 + int(s.next()%uint64(len(tr.Hops)-1))
+			run := 2 + int(s.next()%3)
+			hit := false
+			for i := start; i < len(tr.Hops) && i < start+run; i++ {
+				if !tr.Hops[i].NoReply() {
+					tr.Hops[i] = traceroute.Hop{TTL: tr.Hops[i].TTL}
+					hit = true
+				}
+			}
+			if hit {
+				in.c[TraceRateLimit].injected.Inc()
+				lost = true
+			}
+		}
+	}
+	if lost {
+		tr.Degraded = true
+		tr.Normalize()
+	}
+}

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"testing"
+
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/obs"
+	"throughputlab/internal/traceroute"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "off", "light", "moderate", "heavy"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		wantEnabled := name != "" && name != "off"
+		if p.Enabled() != wantEnabled {
+			t.Errorf("ByName(%q).Enabled() = %v, want %v", name, p.Enabled(), wantEnabled)
+		}
+	}
+	if _, err := ByName("catastrophic"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestNilInjectorIsNoOp pins the off-switch contract: every method on
+// the nil injector returns the zero decision and perturbs nothing.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Enabled() || in.MaxRetries() != 0 || in.DeadlineMin() != 0 {
+		t.Error("nil injector reports enabled state")
+	}
+	if in.OutageAt("atl", 100) {
+		t.Error("nil injector draws outages")
+	}
+	if fs := in.TestAttempt("atl", 1, 100, 0); fs != 0 {
+		t.Errorf("nil injector fails attempts: %v", fs)
+	}
+	if in.ShardAttempts(3) != 1 {
+		t.Error("nil injector retries shards")
+	}
+	if _, ok := in.TruncatesTest(1); ok {
+		t.Error("nil injector truncates")
+	}
+	if in.CorruptsRow(1) {
+		t.Error("nil injector corrupts rows")
+	}
+	tr := &traceroute.Trace{
+		DstAddr: netaddr.Addr(9),
+		Hops:    []traceroute.Hop{{TTL: 1, Addr: netaddr.Addr(5)}, {TTL: 2, Addr: netaddr.Addr(9)}},
+		Reached: true,
+	}
+	in.PerturbTrace(1, tr)
+	if tr.Degraded || !tr.Reached || tr.Hops[0].NoReply() {
+		t.Error("nil injector perturbed a trace")
+	}
+	// Counting on the nil injector must not panic either.
+	in.Retried(1)
+	in.Recovered(1)
+	in.Abandoned(1)
+	if NewInjector(7, Off(), nil) != nil {
+		t.Error("disabled profile built a live injector")
+	}
+}
+
+// TestDrawDeterminism pins the per-(seed, kind, entity) stream
+// contract: repeated asks give the same answer, and seed, kind or
+// entity changes decorrelate the streams.
+func TestDrawDeterminism(t *testing.T) {
+	a := NewInjector(42, Heavy(), nil)
+	b := NewInjector(42, Heavy(), nil)
+	differs := 0
+	for e := uint64(0); e < 200; e++ {
+		fa, oka := a.TruncatesTest(e)
+		fb, okb := b.TruncatesTest(e)
+		if oka != okb || fa != fb {
+			t.Fatalf("entity %d: draw not reproducible", e)
+		}
+		if a.CorruptsRow(e) != b.CorruptsRow(e) {
+			t.Fatalf("entity %d: corruption draw not reproducible", e)
+		}
+		if a.CorruptsRow(e) != a.TruncatesTestHit(e) { // distinct kinds must not mirror
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Error("row-corruption and truncation streams coincide across 200 entities")
+	}
+	other := NewInjector(43, Heavy(), nil)
+	same := 0
+	for e := uint64(0); e < 200; e++ {
+		if a.CorruptsRow(e) == other.CorruptsRow(e) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("fault draws insensitive to seed")
+	}
+}
+
+// TruncatesTestHit is a test helper exposing just the hit bit.
+func (in *Injector) TruncatesTestHit(e uint64) bool {
+	_, ok := in.TruncatesTest(e)
+	return ok
+}
+
+func TestTruncationFractionRange(t *testing.T) {
+	in := NewInjector(7, Heavy(), nil)
+	hits := 0
+	for e := uint64(0); e < 2000; e++ {
+		frac, ok := in.TruncatesTest(e)
+		if !ok {
+			continue
+		}
+		hits++
+		if frac < 0.2 || frac >= 0.8 {
+			t.Fatalf("truncation fraction %v out of [0.2, 0.8)", frac)
+		}
+	}
+	if hits == 0 {
+		t.Error("heavy profile never truncated in 2000 draws")
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	in := NewInjector(7, Moderate(), nil)
+	base := Moderate().BackoffBaseMin
+	for attempt := 1; attempt <= 3; attempt++ {
+		d := base << uint(attempt-1)
+		for e := uint64(0); e < 100; e++ {
+			got := in.RetryDelayMin(e, attempt)
+			if got < d || got >= 2*d {
+				t.Fatalf("attempt %d entity %d: delay %d out of [%d, %d)", attempt, e, got, d, 2*d)
+			}
+		}
+	}
+}
+
+func TestOutageWindowConfinedToDay(t *testing.T) {
+	p := Heavy()
+	p.OutageProb = 1 // every (metro, day) has a window
+	in := NewInjector(7, p, nil)
+	for day := 0; day < 5; day++ {
+		inWin := 0
+		for m := day * 1440; m < (day+1)*1440; m++ {
+			if in.OutageAt("atl", m) {
+				inWin++
+			}
+		}
+		if inWin == 0 {
+			t.Fatalf("day %d: OutageProb=1 but no outage minute", day)
+		}
+		if inWin > p.OutageMinutes {
+			t.Fatalf("day %d: window %d minutes, profile says %d", day, inWin, p.OutageMinutes)
+		}
+	}
+}
+
+func TestShardAttemptsBounded(t *testing.T) {
+	p := Heavy()
+	p.ShardFailProb = 1 // always fails until retries run out
+	in := NewInjector(7, p, nil)
+	if got := in.ShardAttempts(0); got != 1+p.MaxRetries {
+		t.Errorf("ShardAttempts = %d, want %d (transient failures exhaust MaxRetries then succeed)",
+			got, 1+p.MaxRetries)
+	}
+}
+
+// TestPerturbTraceNormalizes pins the satellite invariant end to end: a
+// destination hop lost to probe loss may not leave Reached standing.
+func TestPerturbTraceNormalizes(t *testing.T) {
+	p := Off()
+	p.ProbeLossProb = 1 // every responsive hop is lost
+	in := NewInjector(7, p, nil)
+	tr := &traceroute.Trace{
+		DstAddr: netaddr.Addr(9),
+		Hops: []traceroute.Hop{
+			{TTL: 1, Addr: netaddr.Addr(5)},
+			{TTL: 2, Addr: netaddr.Addr(7)},
+			{TTL: 3, Addr: netaddr.Addr(9)},
+		},
+		Reached: true,
+	}
+	in.PerturbTrace(1, tr)
+	if !tr.Degraded {
+		t.Error("total probe loss did not mark the trace degraded")
+	}
+	if tr.Reached {
+		t.Error("trace with blanked destination hop still counted as reached")
+	}
+}
+
+func TestCountersRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := NewInjector(7, Heavy(), reg)
+	for e := uint64(0); e < 500; e++ {
+		in.TruncatesTest(e)
+		in.CorruptsRow(e)
+	}
+	if got := reg.Counter("faults.test_truncation.injected").Value(); got == 0 {
+		t.Error("truncation hits not counted")
+	}
+	inj := reg.Counter("faults.row_corruption.injected").Value()
+	ab := reg.Counter("faults.row_corruption.abandoned").Value()
+	if inj == 0 || inj != ab {
+		t.Errorf("row corruption injected=%d abandoned=%d, want equal and nonzero", inj, ab)
+	}
+	if cs := reg.CountersWithPrefix("faults."); len(cs) != 4*len(Kinds()) {
+		t.Errorf("registered %d fault counters, want %d", len(cs), 4*len(Kinds()))
+	}
+}

@@ -135,6 +135,17 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	reg := opts.Obs
 	ties := reg.Counter("mapit.majority.ties")
 	reg.Counter("mapit.traces").Add(uint64(len(traces)))
+	// Degraded traces (fault-layer probe loss / rate limiting) are
+	// excluded from every per-trace pass: their responsive hops can be
+	// non-adjacent on the real path, and ingesting them would seed the
+	// neighbor sets — and the link extraction — with false adjacencies.
+	// Clean corpora carry no degraded traces, so the guard is free.
+	skippedDegraded := reg.Counter("mapit.traces.skipped_degraded")
+	for _, tr := range traces {
+		if tr.Degraded {
+			skippedDegraded.Inc()
+		}
+	}
 
 	// Pass 0: neighbor sets, built in parallel over contiguous trace
 	// chunks and merged by count addition — merge order cannot affect
@@ -164,6 +175,9 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 			}
 			dsts := map[netaddr.Addr]struct{}{}
 			for _, tr := range traces[lo:hi] {
+				if tr.Degraded {
+					continue
+				}
 				addrs := tr.ResponsiveAddrs()
 				if tr.Reached && len(addrs) > 0 {
 					dsts[addrs[len(addrs)-1]] = struct{}{}
@@ -313,6 +327,9 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 			defer wg.Done()
 			local := map[[2]netaddr.Addr]int{}
 			for _, tr := range traces[lo:hi] {
+				if tr.Degraded {
+					continue
+				}
 				addrs := tr.ResponsiveAddrs()
 				end := len(addrs)
 				if tr.Reached {
@@ -440,7 +457,12 @@ func majority(neigh map[netaddr.Addr]int, op map[netaddr.Addr]topology.ASN,
 // same-org hops collapse). The destination's origin AS is appended
 // when the trace reached it, since the client itself proves the final
 // AS (§4.2's analysis counts AS hops between server and client).
+// Degraded traces yield nil: hops lost to the fault layer would make
+// the collapsed path skip organizations that were really crossed.
 func (inf *Inference) ASPathOf(tr *traceroute.Trace) []topology.ASN {
+	if tr.Degraded {
+		return nil
+	}
 	var out []topology.ASN
 	addrs := tr.ResponsiveAddrs()
 	end := len(addrs)
@@ -467,8 +489,12 @@ func (inf *Inference) ASPathOf(tr *traceroute.Trace) []topology.ASN {
 }
 
 // LinksOf returns the inferred interdomain links a single trace
-// crossed, in path order.
+// crossed, in path order. Degraded traces yield nil — adjacency in a
+// maimed trace does not imply adjacency on the path.
 func (inf *Inference) LinksOf(tr *traceroute.Trace) []Link {
+	if tr.Degraded {
+		return nil
+	}
 	var out []Link
 	addrs := tr.ResponsiveAddrs()
 	end := len(addrs)

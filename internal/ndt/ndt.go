@@ -62,6 +62,12 @@ type Test struct {
 	// Web100 is the server-side TCP counter snapshot for the download
 	// direction (§2.1), synthesized consistently with the fields above.
 	Web100 web100.Snapshot
+	// Truncated marks a test cut off mid-transfer by the fault layer:
+	// DownMbps is the partial-snapshot estimate and Web100 is
+	// incomplete. Degradation-aware consumers (matching, signatures,
+	// the report) exclude such records instead of letting them skew
+	// aggregates. Clean collection never sets it.
+	Truncated bool
 
 	// Ground truth for scoring (not visible to inference).
 	TruthKind       netsim.BottleneckKind
@@ -155,6 +161,16 @@ func (r *Runner) Run(id int, client routing.Endpoint, clientISP string, tierMbps
 		}
 	}
 	return test, nil
+}
+
+// Truncate rewrites the test as the record a mid-transfer cut leaves
+// behind after frac of the transfer: the headline throughput becomes
+// the partial-snapshot estimate and the web100 counters cover only the
+// delivered prefix (Web100.Complete turns false).
+func (t *Test) Truncate(frac float64) {
+	t.Truncated = true
+	t.DownMbps = netsim.PartialThroughput(t.DownMbps, frac)
+	t.Web100.Truncate(frac)
 }
 
 // siteOf recovers the site name from a server name like

@@ -97,3 +97,28 @@ func TestWeb100ConsistentWithHeadlineNumbers(t *testing.T) {
 		t.Errorf("web100 retrans %.5f vs test %.5f", rr, test.RetransRate)
 	}
 }
+
+func TestTestTruncate(t *testing.T) {
+	w := topogen.MustGenerate(topogen.SmallConfig())
+	r := NewRunner(w)
+	h, ok := w.NewClient("Comcast", "nyc")
+	if !ok {
+		t.Fatal("no client")
+	}
+	srv := w.MLabServers()[0]
+	test, err := r.Run(1, h, "Comcast", 50, 0, srv, 600, 7, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := test.DownMbps
+	test.Truncate(0.5)
+	if !test.Truncated {
+		t.Error("Truncate did not mark the record")
+	}
+	if test.DownMbps >= full {
+		t.Errorf("truncated headline %v not below full %v", test.DownMbps, full)
+	}
+	if test.Web100.Complete() {
+		t.Error("truncated test still carries a complete web100 snapshot")
+	}
+}

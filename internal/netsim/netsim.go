@@ -238,6 +238,29 @@ const (
 	mathisConst = 1.22
 )
 
+// PartialThroughput models the headline number a mid-transfer
+// truncation leaves in a test record: the pipeline divides the bytes
+// acknowledged before the cut by the NOMINAL test duration (the final
+// duration field is among the counters a partial snapshot is missing),
+// so the reported rate shrinks by the completed fraction — and a cut
+// that lands inside the slow-start ramp (the first ~10% of the test)
+// delivers proportionally less than frac of the bytes on top.
+func PartialThroughput(rateMbps, frac float64) float64 {
+	if frac >= 1 {
+		return rateMbps
+	}
+	if frac <= 0 {
+		return 0
+	}
+	const ramp = 0.1
+	bytesFrac := frac - ramp/2
+	if frac < ramp {
+		// Entirely inside the ramp: bytes grow quadratically from 0.
+		bytesFrac = frac * frac / (2 * ramp)
+	}
+	return rateMbps * bytesFrac
+}
+
 // MathisCapMbps is the throughput ceiling MSS·C/(RTT·√p) [33].
 func MathisCapMbps(rttMs, loss float64) float64 {
 	if rttMs <= 0 {

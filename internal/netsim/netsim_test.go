@@ -309,3 +309,29 @@ func BenchmarkBulkFlow(b *testing.B) {
 		n.model.BulkFlow(n.path, i%1440, FlowOpts{TierMbps: 50}, nil)
 	}
 }
+
+func TestPartialThroughput(t *testing.T) {
+	// A full transfer reports the full rate; a cut at fraction f of the
+	// transfer reports strictly less (the denominator stays the full
+	// duration), monotonically in f, and never negative.
+	if got := PartialThroughput(100, 1); got < 99.9 {
+		t.Errorf("full transfer reports %v, want ~100", got)
+	}
+	prev := -1.0
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		got := PartialThroughput(100, f)
+		if got < 0 || got > 100 {
+			t.Fatalf("PartialThroughput(100, %v) = %v out of [0, 100]", f, got)
+		}
+		if got < prev {
+			t.Fatalf("PartialThroughput not monotone at f=%v", f)
+		}
+		prev = got
+	}
+	// A mid-transfer cut biases the estimate low: exactly the partial-
+	// snapshot division artifact degradation-aware consumers must not
+	// ingest.
+	if got := PartialThroughput(100, 0.5); got >= 50 {
+		t.Errorf("half transfer reports %v, want < 50 (ramp loss)", got)
+	}
+}

@@ -32,6 +32,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -74,6 +75,25 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// CountersWithPrefix snapshots every counter whose name starts with
+// prefix, keyed by full name. On a nil registry it returns nil. The
+// fault layer's per-kind outcome counters are read back this way
+// ("faults.") by the stats summary and the CLI's JSON sink.
+func (r *Registry) CountersWithPrefix(prefix string) map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64)
+	for name, c := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = c.Value()
+		}
+	}
+	return out
 }
 
 // Gauge returns the named gauge, creating it on first use. On a nil

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"throughputlab/internal/datasets"
+	"throughputlab/internal/faults"
 	"throughputlab/internal/ndt"
 	"throughputlab/internal/netsim"
 	"throughputlab/internal/obs"
@@ -119,10 +120,19 @@ type CollectConfig struct {
 	TracerouteDurationMin int
 	// Artifacts configures traceroute imperfections.
 	Artifacts traceroute.Artifacts
+	// Faults is the measurement-plane fault profile (zero/Off =
+	// disabled). Together with FaultSeed it extends the corpus
+	// identity: a disabled profile leaves the corpus byte-identical to
+	// a build without the fault layer, and a fixed profile yields a
+	// byte-identical corpus at every worker count.
+	Faults faults.Profile
+	// FaultSeed seeds the fault-injection streams; 0 means reuse Seed.
+	FaultSeed int64
 	// Obs, when non-nil, receives collection phase spans, per-shard
-	// test/trace gauges, and busy-collector rejection counters. It is
-	// not part of the corpus identity: the corpus is byte-identical with
-	// and without it (see the golden tests).
+	// test/trace gauges, busy-collector rejection counters, and the
+	// fault layer's injected/retried/recovered/abandoned counters. It
+	// is not part of the corpus identity: the corpus is byte-identical
+	// with and without it (see the golden tests).
 	Obs *obs.Registry
 }
 
@@ -147,6 +157,35 @@ type Corpus struct {
 	// TestsWithoutTrace counts tests whose traceroute was skipped by
 	// the busy collector (ground truth for the matching experiment).
 	TestsWithoutTrace int
+	// Completeness accounts for what the fault plane cost the campaign.
+	// It stays the zero value when faults are disabled.
+	Completeness Completeness
+}
+
+// Completeness is the campaign's data-loss ledger under fault
+// injection: how many scheduled tests were permanently lost, how many
+// published records are partial, and how many traces were maimed. The
+// report surfaces it so every inference result can be read against the
+// integrity of the data it came from.
+type Completeness struct {
+	// ScheduledTests is the campaign's intended test count.
+	ScheduledTests int
+	// AbandonedTests were given up after exhausting retries or the
+	// per-test deadline.
+	AbandonedTests int
+	// DroppedRows are published test rows lost to corruption.
+	DroppedRows int
+	// TruncatedTests are retained records with partial web100 snapshots.
+	TruncatedTests int
+	// DegradedTraces are retained traces maimed by probe loss or ICMP
+	// rate limiting.
+	DegradedTraces int
+}
+
+// Degraded reports whether the campaign lost or maimed any data.
+func (c Completeness) Degraded() bool {
+	return c.AbandonedTests > 0 || c.DroppedRows > 0 ||
+		c.TruncatedTests > 0 || c.DegradedTraces > 0
 }
 
 // testVolumeShape is the diurnal test-arrival profile: crowdsourced
@@ -173,6 +212,12 @@ type arrival struct {
 	// noise draws and the traceroute's artifact draws.
 	rngSeed int64
 }
+
+// arrivalEntity is the arrival's stable fault-stream key. The
+// arrival-private RNG seed is drawn once from the shard stream at
+// scheduling time, so it identifies the arrival identically at every
+// worker count — exactly the property fault draws need.
+func arrivalEntity(a arrival) uint64 { return uint64(a.rngSeed) }
 
 // shardSeed derives the RNG seed of one scheduling shard. A
 // golden-ratio stride keeps shard streams away from each other and
@@ -291,6 +336,15 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	collectSpan := reg.Span("collect")
 	defer collectSpan.End()
 
+	// The fault plane. A disabled profile yields a nil injector — the
+	// draw-free no-op — so every fault branch below is byte-invisible
+	// when faults are off.
+	faultSeed := cfg.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = cfg.Seed
+	}
+	inj := faults.NewInjector(faultSeed, cfg.Faults, reg)
+
 	popSpan := reg.Span("collect.population")
 	households := population(w, cfg.PerPoolClients, cfg.Seed+1)
 	popSpan.End()
@@ -332,7 +386,13 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		if s < cfg.Tests%shards {
 			count++
 		}
-		perShard[s] = scheduleShard(w, cfg, sctx, s, count)
+		// Transient shard failures lose the shard's scheduling work;
+		// the retry redoes it. scheduleShard is pure, so the surviving
+		// attempt is identical to a first-try success and the corpus is
+		// unchanged — only the work (and the fault counters) differ.
+		for attempt := inj.ShardAttempts(s); attempt > 0; attempt-- {
+			perShard[s] = scheduleShard(w, cfg, sctx, s, count)
+		}
 	})
 	total := 0
 	for _, sh := range perShard {
@@ -352,6 +412,66 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].minute < schedule[j].minute })
 	schedSpan.End()
 
+	// Phase 1.5 — retry planning (fault plane only). Launch-blocking
+	// faults (server outages, test aborts) are evaluated per attempt and
+	// retried on a simulated clock: exponential backoff with
+	// deterministic jitter, bounded by MaxRetries and the per-test
+	// deadline. The whole phase is a serial sweep over pure per-entity
+	// streams, so it is identical at every worker count. execMinute and
+	// dropped stay nil when faults are off — no branch below them can
+	// then perturb the clean path.
+	var (
+		execMinute []int
+		dropped    []bool
+	)
+	if inj != nil {
+		retrySpan := reg.Span("collect.retries")
+		execMinute = make([]int, len(schedule))
+		dropped = make([]bool, len(schedule))
+		lastFail := make([]faults.FaultSet, len(schedule))
+		cumFail := make([]faults.FaultSet, len(schedule))
+		pending := make([]int, 0, len(schedule)/8+1)
+		for id, a := range schedule {
+			execMinute[id] = a.minute
+			if fs := inj.TestAttempt(a.site.Metro, arrivalEntity(a), a.minute, 0); fs != 0 {
+				lastFail[id], cumFail[id] = fs, fs
+				pending = append(pending, id)
+			}
+		}
+		for wave := 1; wave <= inj.MaxRetries() && len(pending) > 0; wave++ {
+			waveSpan := retrySpan.Child(fmt.Sprintf("wave.%d", wave))
+			// Filter in place: the write index never passes the read
+			// index, so pending doubles as next wave's worklist.
+			next := pending[:0]
+			for _, id := range pending {
+				a := schedule[id]
+				entity := arrivalEntity(a)
+				m := execMinute[id] + inj.RetryDelayMin(entity, wave)
+				if m > a.minute+inj.DeadlineMin() {
+					dropped[id] = true
+					inj.Abandoned(cumFail[id])
+					continue
+				}
+				inj.Retried(lastFail[id])
+				execMinute[id] = m
+				if fs := inj.TestAttempt(a.site.Metro, entity, m, wave); fs != 0 {
+					lastFail[id] = fs
+					cumFail[id] |= fs
+					next = append(next, id)
+					continue
+				}
+				inj.Recovered(cumFail[id])
+			}
+			pending = next
+			waveSpan.End()
+		}
+		for _, id := range pending { // out of retries
+			dropped[id] = true
+			inj.Abandoned(cumFail[id])
+		}
+		retrySpan.End()
+	}
+
 	// Phase 2 — the single-threaded traceroute collector (§4.1) is
 	// global sequential state: sweep the merged schedule once in time
 	// order, deciding per arrival whether its traceroute launches and
@@ -369,9 +489,32 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	sweepSpan := reg.Span("collect.sweep")
 	busyRejected := reg.Counter("collect.trace.rejected_busy")
 	busyUntil := make([]int, nServers)
-	for id, a := range schedule {
+	// Under faults, retries move tests off their scheduled minute, so
+	// the sweep re-sorts surviving arrivals by execution time (ties by
+	// id, i.e. the clean merge order) and abandoned tests never reach
+	// the collector. Clean runs keep the identity order — the loop below
+	// is then exactly the pre-fault sweep.
+	order := make([]int, 0, len(schedule))
+	for id := range schedule {
+		if dropped != nil && dropped[id] {
+			launches[id] = -1
+			continue
+		}
+		order = append(order, id)
+	}
+	if inj != nil {
+		sort.SliceStable(order, func(i, j int) bool {
+			return execMinute[order[i]] < execMinute[order[j]]
+		})
+	}
+	for _, id := range order {
+		a := schedule[id]
+		minute := a.minute
+		if execMinute != nil {
+			minute = execMinute[id]
+		}
 		srv := siteOff[a.site] + int(a.entropy)%len(a.site.Servers)
-		if busyUntil[srv] > a.minute {
+		if busyUntil[srv] > minute {
 			launches[id] = -1
 			busyRejected.Inc()
 			continue
@@ -381,7 +524,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		// timestamp up to ~2 minutes BEFORE its test and as much as ~10
 		// minutes after — which is why the paper's ±window matching
 		// recovers more pairs than the after-only window (§4.1).
-		launch := a.minute + a.lag
+		launch := minute + a.lag
 		if launch < 0 {
 			launch = 0
 		}
@@ -407,16 +550,28 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		workerRNGs[i] = rand.New(rand.NewSource(0))
 	}
 	runIndexedWorkers(len(schedule), workers, func(worker, id int) {
+		if dropped != nil && dropped[id] {
+			return // abandoned by the retry planner; never ran
+		}
 		a := schedule[id]
+		minute := a.minute
+		if execMinute != nil {
+			minute = execMinute[id]
+		}
 		h := households[a.hh]
 		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
 		rng := workerRNGs[worker]
 		rng.Seed(a.rngSeed)
 		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
-			server, a.minute, a.entropy, rng)
+			server, minute, a.entropy, rng)
 		if err != nil {
 			errs[id] = err
 			return
+		}
+		if inj != nil {
+			if frac, ok := inj.TruncatesTest(arrivalEntity(a)); ok {
+				test.Truncate(frac)
+			}
 		}
 		tests[id] = test
 		if launches[id] < 0 {
@@ -427,6 +582,7 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 			errs[id] = err
 			return
 		}
+		inj.PerturbTrace(arrivalEntity(a), tr)
 		traces[id] = tr
 	})
 	execSpan.End()
@@ -436,20 +592,61 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 		}
 	}
 
-	corpus := &Corpus{Tests: tests}
-	nTraces := 0
-	for _, tr := range traces {
-		if tr != nil {
-			nTraces++
+	corpus := &Corpus{}
+	if inj == nil {
+		corpus.Tests = tests
+		nTraces := 0
+		for _, tr := range traces {
+			if tr != nil {
+				nTraces++
+			}
 		}
-	}
-	corpus.Traces = make([]*traceroute.Trace, 0, nTraces)
-	for id, tr := range traces {
-		if tr != nil {
+		corpus.Traces = make([]*traceroute.Trace, 0, nTraces)
+		for id, tr := range traces {
+			if tr != nil {
+				corpus.Traces = append(corpus.Traces, tr)
+			} else if launches[id] < 0 {
+				corpus.TestsWithoutTrace++
+			}
+		}
+	} else {
+		// Publication under faults: abandoned tests never produced
+		// records, corrupted rows are dropped at publication time (their
+		// traces survive — the trace feed is a separate pipeline), and
+		// the completeness ledger accounts for every loss.
+		comp := Completeness{ScheduledTests: len(schedule)}
+		corpus.Tests = make([]*ndt.Test, 0, len(schedule))
+		corpus.Traces = make([]*traceroute.Trace, 0, len(schedule))
+		for id, test := range tests {
+			if dropped[id] {
+				comp.AbandonedTests++
+				continue
+			}
+			if test == nil {
+				continue
+			}
+			if inj.CorruptsRow(arrivalEntity(schedule[id])) {
+				comp.DroppedRows++
+				continue
+			}
+			if test.Truncated {
+				comp.TruncatedTests++
+			}
+			corpus.Tests = append(corpus.Tests, test)
+		}
+		for id, tr := range traces {
+			if tr == nil {
+				if !dropped[id] && launches[id] < 0 {
+					corpus.TestsWithoutTrace++
+				}
+				continue
+			}
+			if tr.Degraded {
+				comp.DegradedTraces++
+			}
 			corpus.Traces = append(corpus.Traces, tr)
-		} else if launches[id] < 0 {
-			corpus.TestsWithoutTrace++
 		}
+		corpus.Completeness = comp
 	}
 	if reg != nil {
 		reg.Counter("collect.tests").Add(uint64(len(corpus.Tests)))

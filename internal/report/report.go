@@ -22,6 +22,7 @@ import (
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/mapit"
 	"throughputlab/internal/ndt"
+	"throughputlab/internal/platform"
 	"throughputlab/internal/signatures"
 	"throughputlab/internal/traceroute"
 )
@@ -126,6 +127,12 @@ type Report struct {
 	// Congested lists findings graded congested (either confidence).
 	Congested int
 	Ambiguous int
+	// Completeness is the corpus's fault-plane ledger (zero on clean
+	// campaigns) and MatchedDegraded the matched pairs excluded from
+	// path analyses — §6.1's demand that a claim acknowledge the
+	// integrity of the data behind it, extended to the fault plane.
+	Completeness    platform.Completeness
+	MatchedDegraded int
 }
 
 // Build assembles the report from an experiment environment.
@@ -156,7 +163,10 @@ func Build(e *experiments.Env, cfg Config) *Report {
 		return a.isp < b.isp
 	})
 
-	rep := &Report{}
+	rep := &Report{
+		Completeness:    e.Corpus.Completeness,
+		MatchedDegraded: e.Matching.Degraded,
+	}
 	for _, k := range keys {
 		tests := groups[k]
 		f := buildFinding(e, cfg, k.net, k.metro, k.isp, tests)
@@ -313,8 +323,24 @@ func grade(f *Finding, cfg Config) {
 func (r *Report) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Interconnection congestion report (per §7's checklist)\n")
-	sb.WriteString(fmt.Sprintf("groups analyzed: %d; congested: %d; ambiguous: %d\n\n",
+	sb.WriteString(fmt.Sprintf("groups analyzed: %d; congested: %d; ambiguous: %d\n",
 		len(r.Findings), r.Congested, r.Ambiguous))
+	// The completeness section appears only when the fault plane cost
+	// the campaign data, so clean reports are byte-identical to the
+	// pre-fault-layer output.
+	if c := r.Completeness; c.Degraded() {
+		sb.WriteString("data completeness:\n")
+		sb.WriteString(fmt.Sprintf("  tests: %d collected of %d scheduled (%d abandoned after retries, %d rows dropped corrupt)\n",
+			c.ScheduledTests-c.AbandonedTests-c.DroppedRows, c.ScheduledTests,
+			c.AbandonedTests, c.DroppedRows))
+		sb.WriteString(fmt.Sprintf("  partial records: %d truncated tests retained (excluded from path-sensitive analyses)\n",
+			c.TruncatedTests))
+		sb.WriteString(fmt.Sprintf("  traces: %d degraded by probe loss / rate limiting (skipped by inference)\n",
+			c.DegradedTraces))
+		sb.WriteString(fmt.Sprintf("  matching: %d associated pairs excluded as degraded\n",
+			r.MatchedDegraded))
+	}
+	sb.WriteString("\n")
 	for _, f := range r.Findings {
 		if f.Grade == NotCongested || f.Grade == Insufficient {
 			continue

@@ -45,8 +45,34 @@ type Trace struct {
 	// the trace).
 	FlowEntropy uint32
 	Hops        []Hop
-	// Reached reports whether the destination replied.
+	// Reached reports whether the destination replied. The invariant —
+	// enforced by Normalize — is that Reached implies the final hop is
+	// a reply from DstAddr; a no-reply final hop is never a reached
+	// destination, no matter how the hops were perturbed.
 	Reached bool
+	// Degraded marks a trace maimed after collection by the fault
+	// layer (probe loss, ICMP rate limiting): its responsive hops may
+	// be non-adjacent on the real path, so inference layers skip it
+	// rather than ingest false adjacencies. Artifact draws at
+	// collection time (Artifacts) never set it.
+	Degraded bool
+}
+
+// Normalize enforces the trace's structural invariant: Reached stays
+// true only while the final hop actually replied with the destination
+// address. Collection sets Reached and the final hop together, but
+// post-collection perturbation (the fault layer) can blank the
+// destination hop — anything that rewrites Hops must route through
+// Normalize so a NoReply final hop cannot be counted as a reached
+// destination.
+func (t *Trace) Normalize() {
+	if len(t.Hops) == 0 {
+		t.Reached = false
+		return
+	}
+	if last := t.Hops[len(t.Hops)-1]; last.NoReply() || last.Addr != t.DstAddr {
+		t.Reached = false
+	}
 }
 
 // Artifacts configures measurement imperfections.
@@ -151,6 +177,7 @@ func (tr *Tracer) Trace(src, dst routing.Endpoint, entropy uint32, minute int, r
 		out.Reached = true
 	}
 	out.Hops = append(out.Hops, dstHop)
+	out.Normalize()
 	return out, nil
 }
 

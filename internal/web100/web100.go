@@ -94,6 +94,36 @@ func Synthesize(res netsim.FlowResult, durationSec float64, rng *rand.Rand) Snap
 	return s
 }
 
+// Truncate rewrites the snapshot as the partial record a mid-transfer
+// abort leaves behind: the cumulative counters cover only the
+// delivered prefix of the transfer, and the send-limit accounting —
+// the fields the web100 poller finalizes last — is missing entirely
+// (Complete turns false). frac is the fraction of the transfer that
+// completed, clamped to [0, 1].
+func (s *Snapshot) Truncate(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	s.DurationSec *= frac
+	s.HCThruOctetsAcked = int64(float64(s.HCThruOctetsAcked) * frac)
+	s.SegsOut = int64(float64(s.SegsOut) * frac)
+	s.SegsRetrans = int64(float64(s.SegsRetrans) * frac)
+	s.CongSignals = int(float64(s.CongSignals) * frac)
+	s.SndLimTimeCwndFrac, s.SndLimTimeRwinFrac, s.SndLimTimeSenderFrac = 0, 0, 0
+}
+
+// Complete reports whether the snapshot carries the full field set a
+// finished test writes. Synthesize always produces complete snapshots
+// (the send-limit fractions sum to 1); a truncated snapshot has them
+// zeroed, which is how degradation-aware consumers recognize partial
+// records without a side channel.
+func (s Snapshot) Complete() bool {
+	return s.SndLimTimeCwndFrac+s.SndLimTimeRwinFrac+s.SndLimTimeSenderFrac > 0.99
+}
+
 // ThroughputMbps recomputes the NDT headline number from the counters
 // (consistency check and convenience).
 func (s Snapshot) ThroughputMbps() float64 {

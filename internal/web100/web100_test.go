@@ -96,3 +96,38 @@ func TestZeroDurationDefaults(t *testing.T) {
 		t.Error("zero snapshot should compute zeros, not NaN")
 	}
 }
+
+func TestTruncateScalesAndIncompletes(t *testing.T) {
+	s := Synthesize(res(10, 100, 110, 0.01, netsim.LimitLatency), 10, nil)
+	if !s.Complete() {
+		t.Fatal("synthesized snapshot should be complete")
+	}
+	full := s
+	s.Truncate(0.5)
+	if s.Complete() {
+		t.Error("truncated snapshot still reports complete")
+	}
+	if s.DurationSec != full.DurationSec/2 {
+		t.Errorf("duration %v, want half of %v", s.DurationSec, full.DurationSec)
+	}
+	if s.HCThruOctetsAcked != full.HCThruOctetsAcked/2 {
+		t.Errorf("octets %d, want half of %d", s.HCThruOctetsAcked, full.HCThruOctetsAcked)
+	}
+	// The counter-derived rate is unchanged: both numerator and
+	// denominator scaled — the bias lives in the HEADLINE number, which
+	// divides partial bytes by the full duration (ndt.Test.Truncate).
+	if got, want := s.ThroughputMbps(), full.ThroughputMbps(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("counter throughput %v, want ~%v", got, want)
+	}
+	// Out-of-range fractions clamp instead of corrupting counters.
+	c := full
+	c.Truncate(1.5)
+	if c.HCThruOctetsAcked != full.HCThruOctetsAcked {
+		t.Error("frac>1 should clamp to the full snapshot")
+	}
+	z := full
+	z.Truncate(-1)
+	if z.HCThruOctetsAcked != 0 || z.Complete() {
+		t.Error("frac<0 should clamp to the empty snapshot")
+	}
+}
