@@ -58,6 +58,22 @@ type FaultOverhead struct {
 	HeavyOverOff float64 `json:"heavy_over_off_ratio"`
 }
 
+// StreamingResult measures one chunked CollectStream campaign: the
+// streamed-collection envelope (chunk count, peak in-flight records)
+// next to its throughput, so perf PRs can see both the memory bound
+// and the records-per-second cost of streaming.
+type StreamingResult struct {
+	Scale        string  `json:"scale"`
+	Tests        int     `json:"tests"`
+	Traces       int     `json:"traces"`
+	Chunks       int     `json:"chunks"`
+	ChunkTests   int     `json:"chunk_tests"`
+	PeakInFlight int     `json:"peak_in_flight"`
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TestsPerSec  float64 `json:"tests_per_second"`
+}
+
 // Baseline is the full emitted document.
 type Baseline struct {
 	Date       string             `json:"date"`
@@ -66,6 +82,10 @@ type Baseline struct {
 	Note       string             `json:"note,omitempty"`
 	Benchmarks []BenchResult      `json:"benchmarks"`
 	Collection []CollectionResult `json:"collection"`
+	// Streaming measures chunked (bounded-memory) collection on the same
+	// scales as Collection; present in -quick mode too, so CI can assert
+	// the streamed tests/sec and chunk metrics exist.
+	Streaming []StreamingResult `json:"streaming"`
 	// FaultOverhead is the clean-vs-heavy fault-profile collection pair
 	// (absent in -quick mode).
 	FaultOverhead *FaultOverhead `json:"fault_overhead,omitempty"`
@@ -97,6 +117,7 @@ func benchCmd(args []string) error {
 	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the parallel collection measurement")
 	genWorkers := fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count for the parallel generation measurement")
 	quick := fs.Bool("quick", false, "CI smoke mode: small-scale measurements only")
+	streamScale := fs.String("stream-scale", "", "also measure streamed collection at this -scale profile (e.g. large, xlarge)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -292,6 +313,24 @@ func benchCmd(args []string) error {
 			Workers: *workers, WallSeconds: wall,
 			TestsPerSec: float64(len(corpus.Tests)) / wall,
 		})
+		// Streamed leg on the same (now warm) world: the chunk size is
+		// picked to cut the campaign into ~8 chunks so the chunk metrics
+		// are non-trivial even at -quick scale.
+		scfg := cfg
+		scfg.ChunkTests = scale.tests / 8
+		if scfg.ChunkTests < 1 {
+			scfg.ChunkTests = 1
+		}
+		fmt.Fprintf(os.Stderr, "bench: streamed collection (%s, chunk size %d)...\n", scale.name, scfg.ChunkTests)
+		sst, err := platform.CollectStream(fw, scfg, *workers, func(*platform.Chunk) error { return nil })
+		if err != nil {
+			return err
+		}
+		b.Streaming = append(b.Streaming, StreamingResult{
+			Scale: scale.name, Tests: sst.Tests, Traces: sst.Traces,
+			Chunks: sst.Chunks, ChunkTests: scfg.ChunkTests, PeakInFlight: sst.PeakInFlight,
+			Workers: *workers, WallSeconds: sst.WallSeconds, TestsPerSec: sst.TestsPerSec,
+		})
 		if scale.name == "medium" {
 			st := fw.Resolver.Stats()
 			rate := func(h, m uint64) float64 {
@@ -307,6 +346,36 @@ func benchCmd(args []string) error {
 			}
 			b.Observability = reg.Snapshot()
 		}
+	}
+
+	// Optional extra streamed-collection measurement at a named scale
+	// profile — this is how the large/xlarge campaigns get their
+	// streamed tests/sec into the baseline without ever materializing
+	// the corpus.
+	if *streamScale != "" {
+		opts, err := scaleOptions(*streamScale)
+		if err != nil {
+			return err
+		}
+		opts.Topo.Workers = *genWorkers
+		fmt.Fprintf(os.Stderr, "bench: generating %s world (%d workers)...\n", *streamScale, *genWorkers)
+		sw := topogen.MustGenerate(opts.Topo)
+		cfg := opts.Collect
+		chunk := cfg.ChunkTests
+		if chunk <= 0 {
+			chunk = platform.DefaultChunkTests
+		}
+		fmt.Fprintf(os.Stderr, "bench: streamed collection (%s, %d tests, %d workers, chunk size %d)...\n",
+			*streamScale, cfg.Tests, *workers, chunk)
+		sst, err := platform.CollectStream(sw, cfg, *workers, func(*platform.Chunk) error { return nil })
+		if err != nil {
+			return err
+		}
+		b.Streaming = append(b.Streaming, StreamingResult{
+			Scale: *streamScale, Tests: sst.Tests, Traces: sst.Traces,
+			Chunks: sst.Chunks, ChunkTests: chunk, PeakInFlight: sst.PeakInFlight,
+			Workers: *workers, WallSeconds: sst.WallSeconds, TestsPerSec: sst.TestsPerSec,
+		})
 	}
 
 	f, err := os.Create(path)

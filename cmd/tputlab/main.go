@@ -16,15 +16,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/experiments"
+	"throughputlab/internal/export"
 	"throughputlab/internal/faults"
 	"throughputlab/internal/obs"
+	"throughputlab/internal/platform"
 	"throughputlab/internal/report"
+	"throughputlab/internal/topogen"
 )
 
 func main() {
@@ -69,8 +73,20 @@ func usage() {
   tputlab bench [-out FILE] [-note TEXT]        write a BENCH_<date>.json performance baseline
 
 flags for run/report:
-  -scale small|default|large   topology/corpus scale (default "default")
+  -scale NAME            topology/corpus scale: small, default, medium,
+                         large (~50k ASes) or xlarge (~75k ASes, one
+                         million scheduled tests); default "default"
   -json                  (run) emit the result struct as JSON
+  -corpus-out FILE       persist the corpus to FILE as a chunked NDJSON
+                         stream while it is collected (bounded memory;
+                         readable later by 'report -corpus')
+  -stream                (report) assemble the report through the
+                         bounded-memory chunked pipeline instead of
+                         materializing the corpus; output is
+                         byte-identical to the batch path
+  -corpus FILE           (report) report over a corpus previously
+                         persisted with -corpus-out, without
+                         re-collecting (no world generation)
   -seed N                generation seed (default 1)
   -tests N               NDT corpus size (0 = scale default)
   -parallel N            engine worker count (default GOMAXPROCS);
@@ -93,18 +109,30 @@ flags for run/report:
 
 // scaleOptions maps a -scale value to its environment options; unknown
 // values are a usage error, and run and report accept the same set.
+// large (~50k ASes) and xlarge (~75k ASes, a million scheduled tests)
+// are sized for the streaming pipeline: run them with -stream or
+// -corpus-out so the corpus never has to be resident all at once.
 func scaleOptions(scale string) (experiments.Options, error) {
 	switch scale {
 	case "default":
 		return experiments.DefaultOptions(), nil
 	case "small":
 		return experiments.QuickOptions(), nil
+	case "medium":
+		opts := experiments.DefaultOptions()
+		opts.Topo.Scale = datasets.MediumScale()
+		return opts, nil
 	case "large":
 		opts := experiments.DefaultOptions()
 		opts.Topo.Scale = datasets.LargeScale()
 		return opts, nil
+	case "xlarge":
+		opts := experiments.DefaultOptions()
+		opts.Topo.Scale = datasets.XLargeScale()
+		opts.Collect.Tests = 1_000_000
+		return opts, nil
 	default:
-		return experiments.Options{}, fmt.Errorf("invalid -scale %q (valid: small, default, large)", scale)
+		return experiments.Options{}, fmt.Errorf("invalid -scale %q (valid: small, default, medium, large, xlarge)", scale)
 	}
 }
 
@@ -125,7 +153,7 @@ type commonFlags struct {
 // addCommonFlags registers the run/report flag set on fs.
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	return &commonFlags{
-		scale:       fs.String("scale", "default", "small, default or large"),
+		scale:       fs.String("scale", "default", "small, default, medium, large or xlarge"),
 		seed:        fs.Int64("seed", 1, "generation seed"),
 		tests:       fs.Int("tests", 0, "NDT corpus size override"),
 		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
@@ -209,6 +237,9 @@ func (cf *commonFlags) emitMetrics(reg *obs.Registry) error {
 func reportCmd(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	cf := addCommonFlags(fs)
+	stream := fs.Bool("stream", false, "assemble the report through the bounded-memory chunked pipeline")
+	corpusIn := fs.String("corpus", "", "report over a persisted corpus stream instead of collecting")
+	corpusOut := fs.String("corpus-out", "", "persist the corpus to this file while collecting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,15 +247,200 @@ func reportCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	env, err := experiments.NewEnv(opts)
+	var out string
+	switch {
+	case *corpusIn != "":
+		if *corpusOut != "" {
+			return fmt.Errorf("-corpus and -corpus-out are mutually exclusive (the stream already exists)")
+		}
+		out, err = reportFromCorpus(*corpusIn, opts, reg)
+	case *stream:
+		out, err = reportStreamed(opts, reg, *cf.scale, *corpusOut)
+	default:
+		var sealCorpus func() error
+		if *corpusOut != "" {
+			sealCorpus = teeCorpus(*corpusOut, &opts, *cf.scale)
+		}
+		var env *experiments.Env
+		env, err = experiments.NewEnv(opts)
+		if err == nil && sealCorpus != nil {
+			err = sealCorpus()
+		}
+		if err == nil {
+			sp := reg.Span("report")
+			out = report.Build(env, report.DefaultConfig()).Render()
+			sp.End()
+		}
+	}
 	if err != nil {
 		return err
 	}
-	sp := reg.Span("report")
-	out := report.Build(env, report.DefaultConfig()).Render()
-	sp.End()
 	fmt.Println(out)
 	return cf.emitMetrics(reg)
+}
+
+// teeCorpus wires -corpus-out into an experiment environment: it
+// installs opts.CorpusSink so the campaign is persisted chunk by chunk
+// as it is collected, and returns the closer that seals the stream
+// footer (call it once NewEnv succeeds; a file without a footer reads
+// as truncated, which is the right outcome for a failed campaign).
+func teeCorpus(path string, opts *experiments.Options, scale string) func() error {
+	var f *os.File
+	var sw *export.StreamWriter
+	seed, tests := opts.Topo.Seed, opts.Collect.Tests
+	opts.CorpusSink = func(w *topogen.World) (func(*platform.Chunk) error, error) {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		sw, err = export.NewStreamWriter(f, export.FromWorld(w, nil).Public,
+			export.StreamMeta{Scale: scale, Seed: seed, Tests: tests})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return sw.WriteChunk, nil
+	}
+	return func() error {
+		if sw == nil {
+			return nil
+		}
+		if err := sw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "corpus: wrote %s (%d chunks, %d tests, %d traces)\n",
+			path, sw.Footer().Chunks, sw.Footer().Tests, sw.Footer().Traces)
+		return f.Close()
+	}
+}
+
+// reportStreamed is `report -stream`: the two-pass chunked assembly
+// over a live campaign. Pass 1 re-collects the deterministic stream for
+// operator inference (optionally persisting it to corpusOut), pass 2
+// replays the identical stream for matching and per-group aggregation.
+// Peak memory is one chunk plus the matcher's watermark window; the
+// rendered report is byte-identical to the batch path.
+func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOut string) (string, error) {
+	opts.Topo.Obs = reg
+	opts.Collect.Obs = reg
+	w, err := topogen.Generate(opts.Topo)
+	if err != nil {
+		return "", err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	mopts := export.FromWorld(w, nil).Lookups().MapItOpts()
+	mopts.Workers = workers
+	mopts.Obs = reg
+	b := report.NewStreamBuilder(report.DefaultConfig(), report.MetroHourOf(), mopts)
+
+	sink := func(c *platform.Chunk) error { b.AddTraces(c.Traces); return nil }
+	var seal func() error
+	if corpusOut != "" {
+		eo := opts
+		seal = teeCorpus(corpusOut, &eo, scale)
+		tee, err := eo.CorpusSink(w)
+		if err != nil {
+			return "", err
+		}
+		sink = func(c *platform.Chunk) error { b.AddTraces(c.Traces); return tee(c) }
+	}
+	if _, err := platform.CollectStream(w, opts.Collect, workers, sink); err != nil {
+		return "", err
+	}
+	if seal != nil {
+		if err := seal(); err != nil {
+			return "", err
+		}
+	}
+	b.FinishInference()
+
+	st, err := platform.CollectStream(w, opts.Collect, workers, func(c *platform.Chunk) error {
+		b.AddChunk(c.Tests, c.Traces, c.Watermark)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sp := reg.Span("report")
+	out := b.Finish(st.Completeness).Render()
+	sp.End()
+	return out, nil
+}
+
+// reportFromCorpus is `report -corpus FILE`: the same two-pass chunked
+// assembly, but replaying a persisted stream instead of collecting —
+// no world is generated; the header's public bundle supplies the
+// MAP-IT lookups, the static metro table supplies local hours, and the
+// footer supplies the completeness ledger.
+func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) (string, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// pass replays the whole stream, one chunk resident at a time:
+	// onHeader sees the parsed header before any chunk, fn sees every
+	// chunk, and the returned reader carries the footer.
+	pass := func(onHeader func(*export.StreamReader), fn func(*export.StreamChunk) error) (*export.StreamReader, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sr, err := export.OpenStream(f)
+		if err != nil {
+			return nil, err
+		}
+		if onHeader != nil {
+			onHeader(sr)
+		}
+		for {
+			c, err := sr.Next()
+			if err == io.EOF {
+				return sr, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := fn(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 1: operator inference, with the builder armed from the
+	// header's public bundle (the stream's replacement for the world).
+	var b *report.StreamBuilder
+	if _, err := pass(func(sr *export.StreamReader) {
+		mopts := (&export.Dataset{Public: *sr.Public()}).Lookups().MapItOpts()
+		mopts.Workers = workers
+		mopts.Obs = reg
+		b = report.NewStreamBuilder(report.DefaultConfig(), report.MetroHourOf(), mopts)
+	}, func(c *export.StreamChunk) error {
+		b.AddTraces(c.Traces)
+		return nil
+	}); err != nil {
+		return "", err
+	}
+	b.FinishInference()
+
+	// Pass 2: matching and per-group aggregation, then the footer's
+	// campaign ledger closes the report.
+	sr, err := pass(nil, func(c *export.StreamChunk) error {
+		b.AddChunk(c.Tests, c.Traces, c.Watermark)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sp := reg.Span("report")
+	out := b.Finish(sr.Footer().Completeness).Render()
+	sp.End()
+	return out, nil
 }
 
 func runCmd(args []string) error {
@@ -235,6 +451,7 @@ func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	cf := addCommonFlags(fs)
 	asJSON := fs.Bool("json", false, "emit the result struct as JSON instead of a table")
+	corpusOut := fs.String("corpus-out", "", "persist the corpus to this file while collecting")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -242,12 +459,21 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var sealCorpus func() error
+	if *corpusOut != "" {
+		sealCorpus = teeCorpus(*corpusOut, &opts, *cf.scale)
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *cf.scale, *cf.seed, *cf.workers)
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		return err
+	}
+	if sealCorpus != nil {
+		if err := sealCorpus(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "world: %s\n", env.World.Topo.CollectStats())
 	fmt.Fprintf(os.Stderr, "platforms: %d M-Lab servers, %d Speedtest servers; corpus: %d tests, %d traces (%.1fs)\n",

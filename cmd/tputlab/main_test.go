@@ -16,10 +16,14 @@ func TestRunCmdUnknownExperiment(t *testing.T) {
 func TestScaleValidation(t *testing.T) {
 	// run and report accept the same scale set and reject anything
 	// else with a usage error, before any world is built.
-	for _, scale := range []string{"small", "default", "large"} {
+	for _, scale := range []string{"small", "default", "medium", "large", "xlarge"} {
 		if _, err := scaleOptions(scale); err != nil {
 			t.Errorf("scale %q rejected: %v", scale, err)
 		}
+	}
+	// xlarge is the million-test streaming profile.
+	if opts, _ := scaleOptions("xlarge"); opts.Collect.Tests != 1_000_000 {
+		t.Errorf("xlarge schedules %d tests, want 1000000", opts.Collect.Tests)
 	}
 	for _, scale := range []string{"tiny", "huge", "", "Default"} {
 		if _, err := scaleOptions(scale); err == nil {
@@ -84,5 +88,30 @@ func TestReportCmdSmoke(t *testing.T) {
 	}
 	if err := reportCmd([]string{"-scale", "small", "-tests", "1500"}); err != nil {
 		t.Fatalf("reportCmd: %v", err)
+	}
+}
+
+func TestReportCorpusFlagValidation(t *testing.T) {
+	if err := reportCmd([]string{"-corpus", "a.ndjson", "-corpus-out", "b.ndjson"}); err == nil {
+		t.Error("-corpus with -corpus-out should be a usage error")
+	}
+	if err := reportCmd([]string{"-corpus", "/nonexistent/corpus.ndjson"}); err == nil {
+		t.Error("missing corpus file should error")
+	}
+}
+
+func TestReportStreamRoundTripSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	// The full cycle the CI smoke job runs: a streamed campaign persisted
+	// with -corpus-out, then re-reported from the file without a world.
+	path := t.TempDir() + "/corpus.ndjson"
+	if err := reportCmd([]string{"-scale", "small", "-tests", "1200",
+		"-stream", "-corpus-out", path}); err != nil {
+		t.Fatalf("report -stream -corpus-out: %v", err)
+	}
+	if err := reportCmd([]string{"-corpus", path}); err != nil {
+		t.Fatalf("report -corpus: %v", err)
 	}
 }

@@ -130,6 +130,17 @@ func NewAnalyzer(traces []*traceroute.Trace, opts Opts) *Analyzer {
 	return &Analyzer{opts: opts, inf: mapit.Run(traces, opts.MapIt), org: org}
 }
 
+// NewAnalyzerFromInference wraps an existing operator inference —
+// typically one accumulated chunk-by-chunk with mapit.Builder during a
+// streamed campaign — without re-running MAP-IT over the corpus.
+func NewAnalyzerFromInference(inf *mapit.Inference, opts Opts) *Analyzer {
+	org := make(map[topology.ASN]bool, len(opts.OrgASNs))
+	for _, a := range opts.OrgASNs {
+		org[a] = true
+	}
+	return &Analyzer{opts: opts, inf: inf, org: org}
+}
+
 // Inference exposes the underlying MAP-IT result.
 func (az *Analyzer) Inference() *mapit.Inference { return az.inf }
 
@@ -180,15 +191,38 @@ func Run(traces []*traceroute.Trace, opts Opts) *Result {
 // map. When the analyzer's MAP-IT options carry an obs registry,
 // crossing-match and border-classification counters accumulate there.
 func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
+	acc := az.NewBorderAccumulator()
+	acc.Add(traces)
+	return acc.Result()
+}
+
+// BorderAccumulator folds trace chunks into the border map
+// incrementally. Crossing attribution is per-trace and the neighbor
+// aggregation is additive, so feeding a campaign chunk-by-chunk yields
+// the identical Result to one Borders call over the concatenation.
+type BorderAccumulator struct {
+	az         *Analyzer
+	byNeighbor map[topology.ASN]*neighborAgg
+}
+
+type neighborAgg struct {
+	traces int
+	pairs  map[[2]int]bool
+}
+
+// NewBorderAccumulator starts an empty border aggregation over this
+// analyzer's inference.
+func (az *Analyzer) NewBorderAccumulator() *BorderAccumulator {
+	return &BorderAccumulator{az: az, byNeighbor: map[topology.ASN]*neighborAgg{}}
+}
+
+// Add folds one chunk of traces into the aggregation.
+func (acc *BorderAccumulator) Add(traces []*traceroute.Trace) {
+	az := acc.az
 	reg := az.opts.MapIt.Obs
 	matched := reg.Counter("bdrmap.crossings.matched")
 	unmatched := reg.Counter("bdrmap.crossings.unmatched")
 	skippedDegraded := reg.Counter("bdrmap.traces.skipped_degraded")
-	type agg struct {
-		traces int
-		pairs  map[[2]int]bool
-	}
-	byNeighbor := map[topology.ASN]*agg{}
 	for _, tr := range traces {
 		if tr.Degraded {
 			skippedDegraded.Inc()
@@ -200,24 +234,28 @@ func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
 			continue
 		}
 		matched.Inc()
-		a := byNeighbor[c.Neighbor]
+		a := acc.byNeighbor[c.Neighbor]
 		if a == nil {
-			a = &agg{pairs: map[[2]int]bool{}}
-			byNeighbor[c.Neighbor] = a
+			a = &neighborAgg{pairs: map[[2]int]bool{}}
+			acc.byNeighbor[c.Neighbor] = a
 		}
 		a.traces++
 		a.pairs[az.RouterKey(c)] = true
 	}
+}
 
+// Result finalizes the aggregation into the sorted border map.
+func (acc *BorderAccumulator) Result() *Result {
+	az := acc.az
 	res := &Result{ByRel: map[topology.Rel]struct{ AS, Router int }{}}
-	neighbors := make([]topology.ASN, 0, len(byNeighbor))
-	for n := range byNeighbor {
+	neighbors := make([]topology.ASN, 0, len(acc.byNeighbor))
+	for n := range acc.byNeighbor {
 		neighbors = append(neighbors, n)
 	}
 	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 
 	for _, n := range neighbors {
-		a := byNeighbor[n]
+		a := acc.byNeighbor[n]
 		b := Border{Neighbor: n, Traces: a.traces, RouterPairs: len(a.pairs)}
 		if az.opts.Rel != nil {
 			b.Rel = az.opts.Rel(n)
@@ -230,6 +268,7 @@ func (az *Analyzer) Borders(traces []*traceroute.Trace) *Result {
 		e.Router += b.RouterPairs
 		res.ByRel[b.Rel] = e
 	}
+	reg := az.opts.MapIt.Obs
 	reg.Counter("bdrmap.borders.as").Add(uint64(res.ASCount))
 	reg.Counter("bdrmap.borders.router").Add(uint64(res.RouterCount))
 	return res

@@ -54,20 +54,45 @@ func (c RouteClass) String() string {
 const maxDist = 64
 
 // Routes holds the computed routing trees: for every destination AS,
-// the best next hop from every source AS.
+// the best next hop from every source AS. Two storage modes share the
+// same tree computation:
+//
+//   - eager (Compute/ComputeWorkers): every destination tree is
+//     materialized up front into flat n×n tables. O(n²) memory — the
+//     right trade below ~10k ASes, where the whole table is touched.
+//   - lazy (ComputeLazy): only the adjacency is built up front; a
+//     destination's tree is computed on first use and published via an
+//     atomic pointer. NDT campaigns resolve paths toward a few dozen
+//     server/client ASes, so at 50k+ ASes this replaces tens of GB of
+//     tables with a handful of 450KB trees.
+//
+// Both modes serve reads through the same accessors and compute each
+// tree with the same pure function, so they are observably identical.
 type Routes struct {
 	topo *topology.Topology
 	idx  map[topology.ASN]int
 	asns []topology.ASN
 
 	// adjacency, grouped by how routes flow.
-	custOf [][]int32 // custOf[i]: indices whose customer is i (i.e. i's providers)… see build
-	neigh  [][]adj
+	neigh [][]adj
 
-	// per destination (first index), per source (second index):
+	// eager mode: per destination (first index), per source (second index):
 	nextHop [][]int32 // -1 = none/self
 	dist    [][]uint8
 	class   [][]RouteClass
+
+	// lazy mode: per-destination trees, CAS-published on first use.
+	lazy     bool
+	trees    []atomic.Pointer[routeTree]
+	scratch  sync.Pool // *treeScratch
+	computed atomic.Int64
+}
+
+// routeTree is one destination's routing tree in lazy mode.
+type routeTree struct {
+	nextHop []int32
+	dist    []uint8
+	class   []RouteClass
 }
 
 type adj struct {
@@ -75,26 +100,15 @@ type adj struct {
 	rel topology.Rel // relationship of j as seen from i
 }
 
-// Compute builds routing trees for every AS in the topology.
-func Compute(t *topology.Topology) *Routes { return ComputeWorkers(t, 1, nil) }
-
-// ComputeWorkers is Compute with the per-destination tree computation
-// fanned out over a worker pool. Every destination's tree is a pure
-// function of the (read-only) adjacency, and each worker writes only
-// its destination's rows, so the result is byte-identical for every
-// worker count and scheduling. sp, when non-nil, receives one child
-// span per worker goroutine.
-func ComputeWorkers(t *topology.Topology, workers int, sp *obs.Span) *Routes {
+// newRoutes builds the index and adjacency shared by both modes.
+func newRoutes(t *topology.Topology) *Routes {
 	asns := t.ASNs()
 	n := len(asns)
 	r := &Routes{
-		topo:    t,
-		idx:     make(map[topology.ASN]int, n),
-		asns:    asns,
-		neigh:   make([][]adj, n),
-		nextHop: make([][]int32, n),
-		dist:    make([][]uint8, n),
-		class:   make([][]RouteClass, n),
+		topo:  t,
+		idx:   make(map[topology.ASN]int, n),
+		asns:  asns,
+		neigh: make([][]adj, n),
 	}
 	for i, a := range asns {
 		r.idx[a] = i
@@ -111,6 +125,24 @@ func ComputeWorkers(t *topology.Topology, workers int, sp *obs.Span) *Routes {
 		}
 		r.neigh[i] = row
 	}
+	return r
+}
+
+// Compute builds routing trees for every AS in the topology.
+func Compute(t *topology.Topology) *Routes { return ComputeWorkers(t, 1, nil) }
+
+// ComputeWorkers is Compute with the per-destination tree computation
+// fanned out over a worker pool. Every destination's tree is a pure
+// function of the (read-only) adjacency, and each worker writes only
+// its destination's rows, so the result is byte-identical for every
+// worker count and scheduling. sp, when non-nil, receives one child
+// span per worker goroutine.
+func ComputeWorkers(t *topology.Topology, workers int, sp *obs.Span) *Routes {
+	r := newRoutes(t)
+	n := len(r.asns)
+	r.nextHop = make([][]int32, n)
+	r.dist = make([][]uint8, n)
+	r.class = make([][]RouteClass, n)
 	// One flat backing array per table: row d is the slice [d*n, d*n+n).
 	// Same bytes as n separate rows, but 3 allocations instead of 3n,
 	// and destination-major locality for the sweep below.
@@ -128,7 +160,7 @@ func ComputeWorkers(t *topology.Topology, workers int, sp *obs.Span) *Routes {
 	if workers == 1 {
 		var sc treeScratch
 		for d := 0; d < n; d++ {
-			r.computeTree(d, &sc)
+			r.computeTree(d, &sc, r.nextHop[d], r.dist[d], r.class[d])
 		}
 		return r
 	}
@@ -151,13 +183,64 @@ func ComputeWorkers(t *topology.Topology, workers int, sp *obs.Span) *Routes {
 					return
 				}
 				for d := lo; d < lo+batch && d < n; d++ {
-					r.computeTree(d, &sc)
+					r.computeTree(d, &sc, r.nextHop[d], r.dist[d], r.class[d])
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	return r
+}
+
+// ComputeLazy builds only the adjacency; destination trees are computed
+// on demand by the accessors and cached. Safe for concurrent use: a tree
+// is published with a compare-and-swap, and because computeTree is a
+// pure function of the adjacency, racing computations produce identical
+// trees and either winner is correct.
+func ComputeLazy(t *topology.Topology) *Routes {
+	r := newRoutes(t)
+	r.lazy = true
+	r.trees = make([]atomic.Pointer[routeTree], len(r.asns))
+	r.scratch.New = func() any { return new(treeScratch) }
+	return r
+}
+
+// Lazy reports whether trees are computed on demand.
+func (r *Routes) Lazy() bool { return r.lazy }
+
+// ComputedTrees returns the number of destination trees materialized so
+// far: n for eager mode, the on-demand count for lazy mode.
+func (r *Routes) ComputedTrees() int {
+	if !r.lazy {
+		return len(r.asns)
+	}
+	return int(r.computed.Load())
+}
+
+// rows returns destination di's next-hop/distance/class rows, computing
+// and publishing the tree first in lazy mode.
+func (r *Routes) rows(di int) (nh []int32, dist []uint8, class []RouteClass) {
+	if !r.lazy {
+		return r.nextHop[di], r.dist[di], r.class[di]
+	}
+	if t := r.trees[di].Load(); t != nil {
+		return t.nextHop, t.dist, t.class
+	}
+	n := len(r.asns)
+	t := &routeTree{
+		nextHop: make([]int32, n),
+		dist:    make([]uint8, n),
+		class:   make([]RouteClass, n),
+	}
+	sc := r.scratch.Get().(*treeScratch)
+	r.computeTree(di, sc, t.nextHop, t.dist, t.class)
+	r.scratch.Put(sc)
+	if r.trees[di].CompareAndSwap(nil, t) {
+		r.computed.Add(1)
+		return t.nextHop, t.dist, t.class
+	}
+	w := r.trees[di].Load() // lost the race; the winner's tree is identical
+	return w.nextHop, w.dist, w.class
 }
 
 // treeScratch is the per-worker reusable state of computeTree: the BFS
@@ -175,13 +258,13 @@ type cand struct {
 	nh   int32
 }
 
-// computeTree fills the routing tree for destination index d using the
-// three-phase propagation described in the package comment.
-func (r *Routes) computeTree(d int, sc *treeScratch) {
+// computeTree fills the routing tree for destination index d into the
+// caller-supplied rows using the three-phase propagation described in
+// the package comment. It is a pure function of the adjacency: it reads
+// only immutable state and writes only nh/dist/class, which makes it
+// safe for both the eager worker pool and the lazy on-demand path.
+func (r *Routes) computeTree(d int, sc *treeScratch, nh []int32, dist []uint8, class []RouteClass) {
 	n := len(r.asns)
-	nh := r.nextHop[d]
-	dist := r.dist[d]
-	class := r.class[d]
 	for i := range nh {
 		nh[i] = -1
 		dist[i] = maxDist
@@ -332,7 +415,8 @@ func (r *Routes) NextHop(src, dst topology.ASN) (topology.ASN, bool) {
 	if !ok1 || !ok2 || si == di {
 		return 0, false
 	}
-	nh := r.nextHop[di][si]
+	row, _, _ := r.rows(di)
+	nh := row[si]
 	if nh < 0 {
 		return 0, false
 	}
@@ -346,7 +430,11 @@ func (r *Routes) HasRoute(src, dst topology.ASN) bool {
 	if !ok1 || !ok2 {
 		return false
 	}
-	return si == di || r.class[di][si] != ClassNone
+	if si == di {
+		return true
+	}
+	_, _, class := r.rows(di)
+	return class[si] != ClassNone
 }
 
 // Class returns the route class at src for destination dst.
@@ -359,7 +447,8 @@ func (r *Routes) Class(src, dst topology.ASN) RouteClass {
 	if si == di {
 		return ClassCustomer
 	}
-	return r.class[di][si]
+	_, _, class := r.rows(di)
+	return class[si]
 }
 
 // PathLen returns the AS-path length (number of AS hops) from src to
@@ -373,10 +462,11 @@ func (r *Routes) PathLen(src, dst topology.ASN) int {
 	if si == di {
 		return 0
 	}
-	if r.class[di][si] == ClassNone {
+	_, dist, class := r.rows(di)
+	if class[si] == ClassNone {
 		return -1
 	}
-	return int(r.dist[di][si])
+	return int(dist[si])
 }
 
 // Path returns the AS-level path from src to dst inclusive, or nil when
@@ -400,12 +490,12 @@ func (r *Routes) AppendPath(buf []topology.ASN, src, dst topology.ASN) []topolog
 	if si == di {
 		return append(buf, src)
 	}
-	if r.class[di][si] == ClassNone {
+	row, dist, class := r.rows(di)
+	if class[si] == ClassNone {
 		return nil
 	}
-	row := r.nextHop[di]
 	if buf == nil {
-		buf = make([]topology.ASN, 0, int(r.dist[di][si])+1)
+		buf = make([]topology.ASN, 0, int(dist[si])+1)
 	}
 	out := append(buf, src)
 	for cur := si; cur != di; {

@@ -82,7 +82,9 @@ func MatchTraces(tests []*ndt.Test, traces []*traceroute.Trace, windowMin int, m
 		byPair[k] = append(byPair[k], tr)
 	}
 	for _, list := range byPair {
-		sort.Slice(list, func(i, j int) bool { return list[i].LaunchMinute < list[j].LaunchMinute })
+		// Stable: traces sharing a launch minute keep publication order,
+		// so batch and streamed matching agree on tie-breaks.
+		sort.SliceStable(list, func(i, j int) bool { return list[i].LaunchMinute < list[j].LaunchMinute })
 	}
 
 	used := map[*traceroute.Trace]bool{}
@@ -90,7 +92,7 @@ func MatchTraces(tests []*ndt.Test, traces []*traceroute.Trace, windowMin int, m
 	// Process tests in time order so earlier tests claim earlier
 	// traceroutes.
 	ordered := append([]*ndt.Test(nil), tests...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].StartMinute < ordered[j].StartMinute })
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].StartMinute < ordered[j].StartMinute })
 	for _, t := range ordered {
 		k := key{uint32(t.ServerAddr), uint32(t.ClientAddr)}
 		lo := t.StartMinute
@@ -221,13 +223,20 @@ func Detect(s *Series, cfg DetectorConfig) Verdict {
 		v.InsufficientData = true
 		return v
 	}
-	v.PeakMedian = stats.Median(peak)
-	v.OffMedian = stats.Median(off)
+	// Moments first: Summarize folds the samples in bin order, and the
+	// float summation order must not depend on the sort below.
+	sum := stats.Summarize(peak)
+	offSum := stats.Summarize(off)
+	// Sort each window once and take quantiles of the sorted data, rather
+	// than letting every quantile call copy and re-sort (the windows are
+	// freshly built above, so sorting in place is safe).
+	sort.Float64s(peak)
+	sort.Float64s(off)
+	v.PeakMedian = stats.QuantilesSorted(peak, 0.5)[0]
+	v.OffMedian = stats.QuantilesSorted(off, 0.5)[0]
 	if v.OffMedian > 0 {
 		v.Drop = 1 - v.PeakMedian/v.OffMedian
 	}
-	sum := stats.Summarize(peak)
-	offSum := stats.Summarize(off)
 	v.PeakMean, v.OffMean = sum.Mean, offSum.Mean
 	if v.OffMean > 0 {
 		v.MeanDrop = 1 - v.PeakMean/v.OffMean
@@ -400,6 +409,14 @@ func Bias(tests []*ndt.Test, hourOf func(*ndt.Test) float64, minSamples int) Bia
 		bins.Add(hourOf(t), t.DownMbps)
 		perClient[uint32(t.ClientAddr)]++
 	}
+	return BiasFromBins(&bins, perClient, minSamples)
+}
+
+// BiasFromBins computes the §6.1 diagnostics from pre-aggregated state:
+// hour-binned download throughput plus per-client test counts. The
+// streaming report path aggregates these incrementally and shares this
+// reduction with Bias, so both paths render identical diagnostics.
+func BiasFromBins(bins *stats.HourBins, perClient map[uint32]int, minSamples int) BiasReport {
 	c := bins.Counts()
 	night := c[3] + c[4] + c[5]
 	evening := c[19] + c[20] + c[21]

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"throughputlab/internal/ndt"
+)
+
+// benchSeries builds one dense diurnal series, the shape Detect sees
+// per report row on a large campaign.
+func benchSeries(n int) *Series {
+	rng := rand.New(rand.NewSource(9))
+	s := &Series{}
+	for i := 0; i < n; i++ {
+		s.Add(float64(rng.Intn(24)), &ndt.Test{
+			DownMbps:    5 + rng.Float64()*95,
+			RTTms:       10 + rng.Float64()*40,
+			RetransRate: rng.Float64() * 0.02,
+		})
+	}
+	return s
+}
+
+// BenchmarkDetect tracks the report hot path: one verdict over a dense
+// series. The quantile step sorts each window once in place instead of
+// letting every quantile call copy and re-sort the full sample, so
+// allocations stay flat in the window size.
+func BenchmarkDetect(b *testing.B) {
+	s := benchSeries(20000)
+	cfg := DefaultDetector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(s, cfg)
+	}
+}
+
+// TestDetectAllocsPinned pins the allocation budget of one Detect call:
+// building the two windows plus the rank buffers of the significance
+// test — no per-quantile copies of the full windows.
+func TestDetectAllocsPinned(t *testing.T) {
+	s := benchSeries(20000)
+	cfg := DefaultDetector()
+	allocs := testing.AllocsPerRun(20, func() { Detect(s, cfg) })
+	if allocs > 64 {
+		t.Fatalf("Detect allocated %.0f objects per run, budget 64", allocs)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/traceroute"
+)
+
+// DefaultTraceLead is the platform's scheduling contract: a traceroute
+// may launch at most this many minutes before the scheduled minute of
+// the test it accompanies (the platform's launch lag is in [-2, +10]
+// minutes). StreamMatcher uses it to decide when a buffered test can no
+// longer gain a better match from traces that have not arrived yet.
+const DefaultTraceLead = 2
+
+type pairKey struct{ src, dst uint32 }
+
+type pendingTest struct {
+	t   *ndt.Test
+	seq int
+}
+
+// StreamMatcher reproduces MatchTraces incrementally over a chunked
+// corpus in bounded memory. Chunks must arrive in publication (test-ID)
+// order, each with a watermark W guaranteeing that every future test
+// starts at minute >= W and every future traceroute launches at minute
+// >= W - DefaultTraceLead — exactly what platform.Chunk.Watermark
+// provides. Tests are buffered until no future trace can fall inside
+// their association window, then finalized in (StartMinute, arrival)
+// order — the same total order the batch matcher's stable sort
+// produces — so Finish returns a Matching identical to running
+// MatchTraces over the concatenated corpus. Traces drop out of the
+// buffer once they are behind every live window, which bounds resident
+// state to a few minutes of campaign activity regardless of corpus
+// size.
+type StreamMatcher struct {
+	// OnPair, when set before the first Add, is invoked once per test in
+	// finalization order with its associated trace (nil when unmatched),
+	// and ByTest is left empty so the caller controls retention. Leave
+	// nil to accumulate the full ByTest map as MatchTraces does.
+	OnPair func(*ndt.Test, *traceroute.Trace)
+
+	windowMin int
+	mode      MatchMode
+	lead      int
+
+	seq     int
+	pending []pendingTest
+	byPair  map[pairKey][]*traceroute.Trace
+	used    map[*traceroute.Trace]bool
+	result  *Matching
+}
+
+// NewStreamMatcher returns a matcher equivalent to
+// MatchTraces(…, windowMin, mode) applied to the full corpus.
+func NewStreamMatcher(windowMin int, mode MatchMode) *StreamMatcher {
+	return &StreamMatcher{
+		windowMin: windowMin,
+		mode:      mode,
+		lead:      DefaultTraceLead,
+		byPair:    map[pairKey][]*traceroute.Trace{},
+		used:      map[*traceroute.Trace]bool{},
+		result:    &Matching{ByTest: map[int]*traceroute.Trace{}},
+	}
+}
+
+// Add feeds one chunk. watermark is the scheduled minute of the last
+// test in the chunk (platform.Chunk.Watermark); it must not decrease
+// across calls.
+func (sm *StreamMatcher) Add(tests []*ndt.Test, traces []*traceroute.Trace, watermark int) {
+	for _, t := range tests {
+		sm.pending = append(sm.pending, pendingTest{t, sm.seq})
+		sm.seq++
+	}
+	var touched map[pairKey]bool
+	for _, tr := range traces {
+		k := pairKey{uint32(tr.SrcAddr), uint32(tr.DstAddr)}
+		sm.byPair[k] = append(sm.byPair[k], tr)
+		if touched == nil {
+			touched = map[pairKey]bool{}
+		}
+		touched[k] = true
+	}
+	// Re-sort only the pair lists this chunk touched. New arrivals all
+	// carry later publication order than what is already buffered, so a
+	// stable sort by launch minute keeps the batch matcher's tie-break
+	// (publication order within a minute).
+	for k := range touched {
+		list := sm.byPair[k]
+		sort.SliceStable(list, func(i, j int) bool {
+			return list[i].LaunchMinute < list[j].LaunchMinute
+		})
+	}
+	// Same argument for tests: buffered tests all precede this chunk's in
+	// publication order, so a stable sort by start minute orders the
+	// whole buffer by (StartMinute, arrival).
+	sort.SliceStable(sm.pending, func(i, j int) bool {
+		return sm.pending[i].t.StartMinute < sm.pending[j].t.StartMinute
+	})
+	// A buffered test is final once even the earliest future trace
+	// (launching at watermark - lead) would fall past its window.
+	cut := watermark - sm.lead - sm.windowMin
+	n := 0
+	for n < len(sm.pending) && sm.pending[n].t.StartMinute < cut {
+		sm.finalize(sm.pending[n].t)
+		n++
+	}
+	if n > 0 {
+		rest := copy(sm.pending, sm.pending[n:])
+		for i := rest; i < len(sm.pending); i++ {
+			sm.pending[i] = pendingTest{}
+		}
+		sm.pending = sm.pending[:rest]
+	}
+	sm.evict(watermark)
+}
+
+// finalize runs the batch matcher's per-test step: claim the first
+// unused trace launched inside the window.
+func (sm *StreamMatcher) finalize(t *ndt.Test) {
+	sm.result.Total++
+	k := pairKey{uint32(t.ServerAddr), uint32(t.ClientAddr)}
+	lo := t.StartMinute
+	if sm.mode == WindowAround {
+		lo = t.StartMinute - sm.windowMin
+	}
+	hi := t.StartMinute + sm.windowMin
+	list := sm.byPair[k]
+	var match *traceroute.Trace
+	for i := sort.Search(len(list), func(i int) bool {
+		return list[i].LaunchMinute >= lo
+	}); i < len(list); i++ {
+		tr := list[i]
+		if sm.used[tr] {
+			continue
+		}
+		if tr.LaunchMinute > hi {
+			break
+		}
+		sm.used[tr] = true
+		match = tr
+		break
+	}
+	if match != nil {
+		if PairDegraded(t, match) {
+			sm.result.Degraded++
+		}
+		if sm.OnPair == nil {
+			sm.result.ByTest[t.ID] = match
+		}
+	}
+	if sm.OnPair != nil {
+		sm.OnPair(t, match)
+	}
+}
+
+// evict drops traces that no buffered or future test can claim: their
+// launch minute sits before the lower window bound of every window
+// still alive.
+func (sm *StreamMatcher) evict(watermark int) {
+	minStart := watermark
+	if len(sm.pending) > 0 && sm.pending[0].t.StartMinute < minStart {
+		minStart = sm.pending[0].t.StartMinute
+	}
+	evictBefore := minStart
+	if sm.mode == WindowAround {
+		evictBefore -= sm.windowMin
+	}
+	for k, list := range sm.byPair {
+		n := 0
+		for n < len(list) && list[n].LaunchMinute < evictBefore {
+			delete(sm.used, list[n])
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if n == len(list) {
+			delete(sm.byPair, k)
+			continue
+		}
+		rest := copy(list, list[n:])
+		for i := rest; i < len(list); i++ {
+			list[i] = nil
+		}
+		sm.byPair[k] = list[:rest]
+	}
+}
+
+// InFlight reports the buffered state — the streaming memory envelope —
+// as (pending tests, buffered traces).
+func (sm *StreamMatcher) InFlight() (tests, traces int) {
+	for _, list := range sm.byPair {
+		traces += len(list)
+	}
+	return len(sm.pending), traces
+}
+
+// Finish drains the buffer and returns the completed Matching. The
+// matcher must not be used afterwards.
+func (sm *StreamMatcher) Finish() *Matching {
+	for i := range sm.pending {
+		sm.finalize(sm.pending[i].t)
+	}
+	sm.pending = nil
+	sm.byPair = nil
+	sm.used = nil
+	m := sm.result
+	sm.result = nil
+	return m
+}

@@ -166,9 +166,9 @@ func DefaultScale() ScaleConfig {
 	}
 }
 
-// LargeScale returns the ~3k-AS configuration for users who want the
+// MediumScale returns the ~3k-AS configuration for users who want the
 // full DESIGN.md scale (slower generation and campaigns).
-func LargeScale() ScaleConfig {
+func MediumScale() ScaleConfig {
 	return ScaleConfig{
 		StubASes:             2800,
 		HostingFrac:          0.18,
@@ -177,6 +177,41 @@ func LargeScale() ScaleConfig {
 		ServersPerMLabSite:   4,
 		ClientsPerISPMetro:   60,
 		CustomerScale:        2,
+	}
+}
+
+// LargeScale returns the ~50k-AS configuration for internet-scale
+// campaigns. Worlds this big require lazy route computation (the
+// generator switches automatically) and are meant to be collected with
+// the streaming corpus path: a full n×n route table would need tens of
+// GB, and a materialized million-test corpus several more.
+//
+// RegionalISPs must stay below 3000: regional ASNs are assigned from
+// 36000 upward and must not collide with the content tail at 39000.
+func LargeScale() ScaleConfig {
+	return ScaleConfig{
+		StubASes:             49000,
+		HostingFrac:          0.18,
+		RegionalISPs:         700,
+		SpeedtestStubServers: 1200,
+		ServersPerMLabSite:   4,
+		ClientsPerISPMetro:   60,
+		CustomerScale:        4,
+	}
+}
+
+// XLargeScale returns the ~75k-AS configuration used for the ≥1M-test
+// streamed campaigns (the M-Lab-scale regime of §4.1). Everything said
+// about LargeScale applies, more so.
+func XLargeScale() ScaleConfig {
+	return ScaleConfig{
+		StubASes:             74000,
+		HostingFrac:          0.18,
+		RegionalISPs:         900,
+		SpeedtestStubServers: 1600,
+		ServersPerMLabSite:   6,
+		ClientsPerISPMetro:   80,
+		CustomerScale:        6,
 	}
 }
 

@@ -34,6 +34,12 @@ type Options struct {
 	// inference stages, and RunParallel records per-experiment spans on
 	// it. Experiment output is byte-identical with and without it.
 	Obs *obs.Registry
+	// CorpusSink, when non-nil, receives the generated world before
+	// collection begins and returns a per-chunk sink; collection then
+	// streams every chunk through it (e.g. an export.StreamWriter
+	// persisting the corpus as it is gathered). The materialized corpus
+	// is byte-identical with or without a sink.
+	CorpusSink func(*topogen.World) (func(*platform.Chunk) error, error)
 }
 
 // workers returns the effective worker count (at least 1).
@@ -87,9 +93,33 @@ func NewEnv(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	corpus, err := platform.CollectParallel(w, opts.Collect, opts.workers())
-	if err != nil {
-		return nil, err
+	var corpus *platform.Corpus
+	if opts.CorpusSink != nil {
+		tee, err := opts.CorpusSink(w)
+		if err != nil {
+			return nil, err
+		}
+		// Collect through the chunk stream so the sink sees the corpus as
+		// it is gathered; the materialized corpus is identical to the
+		// CollectParallel result (CollectParallel is this same stream with
+		// an append sink).
+		c := &platform.Corpus{}
+		st, err := platform.CollectStream(w, opts.Collect, opts.workers(), func(ch *platform.Chunk) error {
+			c.Tests = append(c.Tests, ch.Tests...)
+			c.Traces = append(c.Traces, ch.Traces...)
+			c.TestsWithoutTrace += ch.TestsWithoutTrace
+			return tee(ch)
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Completeness = st.Completeness
+		corpus = c
+	} else {
+		corpus, err = platform.CollectParallel(w, opts.Collect, opts.workers())
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &Env{Opts: opts, World: w, Corpus: corpus}
 	sp := reg.Span("mapit")

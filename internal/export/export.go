@@ -6,6 +6,8 @@
 package export
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +49,11 @@ type Dataset struct {
 	Public Public              `json:"public"`
 	Tests  []*ndt.Test         `json:"tests,omitempty"`
 	Traces []*traceroute.Trace `json:"traces,omitempty"`
+	// TestsWithoutTrace and Completeness carry the corpus bookkeeping a
+	// persisted campaign needs for degradation-aware reporting. Both
+	// stay zero for datasets written before they existed.
+	TestsWithoutTrace int                   `json:"tests_without_trace,omitempty"`
+	Completeness      platform.Completeness `json:"completeness,omitzero"`
 }
 
 // FromWorld snapshots a world's public data and an optional corpus.
@@ -75,31 +82,98 @@ func FromWorld(w *topogen.World, corpus *platform.Corpus) *Dataset {
 	if corpus != nil {
 		d.Tests = corpus.Tests
 		d.Traces = corpus.Traces
+		d.TestsWithoutTrace = corpus.TestsWithoutTrace
+		d.Completeness = corpus.Completeness
 	}
 	return d
 }
 
-// WithTraces returns a shallow copy carrying the given traces (for
-// exporting a VP campaign against the same public data).
+// WithTraces returns a copy carrying the given traces (for exporting a
+// VP campaign against the same public data). The public tables are
+// deep-copied: the copy is an independent dataset, so callers may
+// extend or edit its bundle without corrupting the original.
 func (d *Dataset) WithTraces(traces []*traceroute.Trace) *Dataset {
 	out := *d
+	out.Public = d.Public.clone()
 	out.Tests = nil
+	out.TestsWithoutTrace = 0
+	out.Completeness = platform.Completeness{}
 	out.Traces = traces
 	return &out
 }
 
-// Write encodes the dataset as indented JSON.
+// clone deep-copies the public bundle's mutable tables.
+func (p Public) clone() Public {
+	out := p
+	out.Prefixes = append([]PrefixOrigin(nil), p.Prefixes...)
+	out.IXPPrefixes = append([]netaddr.Prefix(nil), p.IXPPrefixes...)
+	out.Rels = append([]relRow(nil), p.Rels...)
+	if p.Orgs != nil {
+		out.Orgs = make(map[string][]topology.ASN, len(p.Orgs))
+		for name, asns := range p.Orgs {
+			out.Orgs[name] = append([]topology.ASN(nil), asns...)
+		}
+	}
+	return out
+}
+
+// Validate rejects public bundles whose tables are ambiguous: a prefix
+// announced with two different origins, or an AS pair carrying
+// contradictory relationships (in either row orientation). Lookups
+// would otherwise resolve such conflicts silently by whichever row
+// happened to come last.
+func (p *Public) Validate() error {
+	origins := make(map[netaddr.Prefix]topology.ASN, len(p.Prefixes))
+	for _, row := range p.Prefixes {
+		if prev, dup := origins[row.Prefix]; dup && prev != row.ASN {
+			return fmt.Errorf("export: prefix %v announced with conflicting origins AS%d and AS%d",
+				row.Prefix, prev, row.ASN)
+		}
+		origins[row.Prefix] = row.ASN
+	}
+	rels := make(map[[2]topology.ASN]topology.Rel, 2*len(p.Rels))
+	for _, r := range p.Rels {
+		rel := parseRel(r.Rel)
+		for _, e := range [...]struct {
+			k [2]topology.ASN
+			v topology.Rel
+		}{
+			{[2]topology.ASN{r.A, r.B}, rel},
+			{[2]topology.ASN{r.B, r.A}, rel.Invert()},
+		} {
+			if prev, dup := rels[e.k]; dup && prev != e.v {
+				return fmt.Errorf("export: AS pair (%d,%d) carries conflicting relationships %v and %v",
+					e.k[0], e.k[1], prev, e.v)
+			}
+			rels[e.k] = e.v
+		}
+	}
+	return nil
+}
+
+// Write encodes the dataset as indented JSON (the original single-blob
+// format). For corpora too large to hold in memory, use StreamWriter.
 func (d *Dataset) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(d)
 }
 
-// Read decodes a dataset.
+// Read decodes a dataset, auto-detecting the format: the original
+// single JSON blob, or the chunked NDJSON corpus stream (materialized
+// fully, with the footer's completeness ledger folded in). The public
+// bundle is validated either way.
 func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(len(streamMagic)); err == nil && bytes.HasPrefix(head, []byte(streamMagic)) {
+		return readStreamAll(br)
+	}
 	var d Dataset
-	if err := json.NewDecoder(r).Decode(&d); err != nil {
+	if err := json.NewDecoder(br).Decode(&d); err != nil {
 		return nil, fmt.Errorf("export: decoding dataset: %w", err)
+	}
+	if err := d.Public.Validate(); err != nil {
+		return nil, err
 	}
 	return &d, nil
 }

@@ -382,7 +382,9 @@ func (in *Injector) RetryDelayMin(entity uint64, attempt int) int {
 }
 
 // Retried records one retry caused by the faults in fs.
-func (in *Injector) Retried(fs FaultSet) { in.count(fs, func(c kindCounters) *obs.Counter { return c.retried }) }
+func (in *Injector) Retried(fs FaultSet) {
+	in.count(fs, func(c kindCounters) *obs.Counter { return c.retried })
+}
 
 // Recovered records that an entity eventually succeeded after having
 // been failed by the faults in fs.

@@ -1,0 +1,58 @@
+package mapit
+
+import (
+	"testing"
+)
+
+// inferenceEqual compares two inferences field by field.
+func inferenceEqual(t *testing.T, label string, a, b *Inference) {
+	t.Helper()
+	if len(a.Operator) != len(b.Operator) {
+		t.Fatalf("%s: operator map sizes %d vs %d", label, len(a.Operator), len(b.Operator))
+	}
+	for addr, asn := range a.Operator {
+		if b.Operator[addr] != asn {
+			t.Fatalf("%s: operator of %v differs: %v vs %v", label, addr, asn, b.Operator[addr])
+		}
+	}
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("%s: link counts %d vs %d", label, len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("%s: link %d differs: %+v vs %+v", label, i, a.Links[i], b.Links[i])
+		}
+	}
+}
+
+// TestBuilderChunkedMatchesRun pins the incremental contract: feeding
+// the corpus through Add in chunks of any size — and at any worker
+// count — produces the identical inference to one batch Run.
+func TestBuilderChunkedMatchesRun(t *testing.T) {
+	traces := cleanCorpus(t, 400)
+	want := Run(traces, worldOpts())
+	for _, chunk := range []int{1, 7, 100, 1000} {
+		for _, workers := range []int{1, 4} {
+			opts := worldOpts()
+			opts.Workers = workers
+			b := NewBuilder(opts)
+			for lo := 0; lo < len(traces); lo += chunk {
+				hi := lo + chunk
+				if hi > len(traces) {
+					hi = len(traces)
+				}
+				b.Add(traces[lo:hi])
+			}
+			got := b.Finish()
+			inferenceEqual(t, "chunked", want, got)
+		}
+	}
+}
+
+// TestBuilderEmpty finishes cleanly with nothing added.
+func TestBuilderEmpty(t *testing.T) {
+	inf := NewBuilder(worldOpts()).Finish()
+	if len(inf.Operator) != 0 || len(inf.Links) != 0 {
+		t.Fatalf("empty builder inferred %d operators, %d links", len(inf.Operator), len(inf.Links))
+	}
+}

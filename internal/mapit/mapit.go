@@ -129,11 +129,43 @@ type ifaceStats struct {
 	next map[netaddr.Addr]int
 }
 
-// Run executes MAP-IT over the trace corpus.
-func Run(traces []*traceroute.Trace, opts Opts) *Inference {
+// Builder accumulates traces incrementally and runs the vote passes
+// once over the merged state. Feeding the corpus in any chunking —
+// including one Add of everything, which is exactly what Run does —
+// produces the identical Inference: pass 0 and the pair counts are
+// additive merges, and every order-sensitive step (vote passes,
+// far-side detection, link sorting) runs only at Finish over
+// deterministically sorted state.
+type Builder struct {
+	opts Opts
+	// stats/dsts are pass 0's merged neighbor sets and destination-host
+	// addresses.
+	stats map[netaddr.Addr]*ifaceStats
+	dsts  map[netaddr.Addr]struct{}
+	// pairCount counts every adjacent responsive pair. Unlike the old
+	// single-pass extraction it is built before operators are known, so
+	// it is unfiltered; Finish applies the operator/same-org filter.
+	// Distinct pairs are bounded by the interface adjacency of the
+	// topology, not by the trace count.
+	pairCount map[[2]netaddr.Addr]int
+}
+
+// NewBuilder prepares an incremental MAP-IT run.
+func NewBuilder(opts Opts) *Builder {
 	opts.withDefaults()
-	reg := opts.Obs
-	ties := reg.Counter("mapit.majority.ties")
+	return &Builder{
+		opts:      opts,
+		stats:     make(map[netaddr.Addr]*ifaceStats),
+		dsts:      make(map[netaddr.Addr]struct{}),
+		pairCount: make(map[[2]netaddr.Addr]int),
+	}
+}
+
+// Add folds one batch of traces into the builder. Safe to call many
+// times; not safe for concurrent calls (it parallelizes internally over
+// opts.Workers).
+func (b *Builder) Add(traces []*traceroute.Trace) {
+	reg := b.opts.Obs
 	reg.Counter("mapit.traces").Add(uint64(len(traces)))
 	// Degraded traces (fault-layer probe loss / rate limiting) are
 	// excluded from every per-trace pass: their responsive hops can be
@@ -151,10 +183,12 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	// chunks and merged by count addition — merge order cannot affect
 	// the result. The destination hop of each trace is a host, not a
 	// router interface; it contributes as a vote source for its
-	// predecessor but gets no operator of its own.
-	chunks := traceChunks(len(traces), opts.Workers)
+	// predecessor but gets no operator of its own. Adjacent pairs are
+	// counted in the same sweep.
+	chunks := traceChunks(len(traces), b.opts.Workers)
 	partStats := make([]map[netaddr.Addr]*ifaceStats, len(chunks))
 	partDsts := make([]map[netaddr.Addr]struct{}, len(chunks))
+	partPairs := make([]map[[2]netaddr.Addr]int, len(chunks))
 	var wg sync.WaitGroup
 	for c, ch := range chunks {
 		wg.Add(1)
@@ -165,15 +199,16 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 				s := local[a]
 				if s == nil {
 					s = &ifaceStats{prev: map[netaddr.Addr]int{}, next: map[netaddr.Addr]int{}}
-					if origin, ok := opts.Prefix2AS(a); ok {
+					if origin, ok := b.opts.Prefix2AS(a); ok {
 						s.origin, s.hasOrg = origin, true
 					}
-					s.isIXP = opts.IsIXP(a)
+					s.isIXP = b.opts.IsIXP(a)
 					local[a] = s
 				}
 				return s
 			}
 			dsts := map[netaddr.Addr]struct{}{}
+			pairs := map[[2]netaddr.Addr]int{}
 			for _, tr := range traces[lo:hi] {
 				if tr.Degraded {
 					continue
@@ -181,6 +216,10 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 				addrs := tr.ResponsiveAddrs()
 				if tr.Reached && len(addrs) > 0 {
 					dsts[addrs[len(addrs)-1]] = struct{}{}
+				}
+				end := len(addrs)
+				if tr.Reached {
+					end-- // final hop is the destination host
 				}
 				for i, a := range addrs {
 					s := get(a)
@@ -190,22 +229,20 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 					if i+1 < len(addrs) {
 						s.next[addrs[i+1]]++
 					}
+					if i >= 1 && i < end {
+						pairs[[2]netaddr.Addr{addrs[i-1], a}]++
+					}
 				}
 			}
-			partStats[c], partDsts[c] = local, dsts
+			partStats[c], partDsts[c], partPairs[c] = local, dsts, pairs
 		}(c, ch[0], ch[1])
 	}
 	wg.Wait()
-	stats := make(map[netaddr.Addr]*ifaceStats)
-	dsts := map[netaddr.Addr]struct{}{}
-	if len(chunks) > 0 {
-		stats, dsts = partStats[0], partDsts[0]
-	}
-	for c := 1; c < len(chunks); c++ {
+	for c := 0; c < len(chunks); c++ {
 		for a, s := range partStats[c] {
-			dst := stats[a]
+			dst := b.stats[a]
 			if dst == nil {
-				stats[a] = s
+				b.stats[a] = s
 				continue
 			}
 			for n, k := range s.prev {
@@ -216,9 +253,29 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 			}
 		}
 		for a := range partDsts[c] {
-			dsts[a] = struct{}{}
+			b.dsts[a] = struct{}{}
+		}
+		for k, n := range partPairs[c] {
+			b.pairCount[k] += n
 		}
 	}
+}
+
+// Run executes MAP-IT over the trace corpus.
+func Run(traces []*traceroute.Trace, opts Opts) *Inference {
+	b := NewBuilder(opts)
+	b.Add(traces)
+	return b.Finish()
+}
+
+// Finish runs the vote passes, the far-side correction, and the link
+// extraction over everything added so far, and returns the Inference.
+// The builder should not be used after Finish.
+func (b *Builder) Finish() *Inference {
+	opts := b.opts
+	reg := opts.Obs
+	ties := reg.Counter("mapit.majority.ties")
+	stats, dsts := b.stats, b.dsts
 
 	// originVote holds pure prefix-origin labels; voteOp additionally
 	// accumulates IXP/unknown addresses resolved in earlier passes
@@ -318,49 +375,14 @@ func Run(traces []*traceroute.Trace, opts Opts) *Inference {
 	inf := &Inference{Operator: op, opts: opts}
 
 	// Link extraction: adjacent responsive pairs whose operators belong
-	// to different organizations. Parallel over the same trace chunks;
-	// op is read-only here and per-chunk counts merge by addition.
-	partLinks := make([]map[[2]netaddr.Addr]int, len(chunks))
-	for c, ch := range chunks {
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			local := map[[2]netaddr.Addr]int{}
-			for _, tr := range traces[lo:hi] {
-				if tr.Degraded {
-					continue
-				}
-				addrs := tr.ResponsiveAddrs()
-				end := len(addrs)
-				if tr.Reached {
-					end-- // final hop is the destination host
-				}
-				for i := 1; i < end; i++ {
-					a, b := addrs[i-1], addrs[i]
-					asA, okA := op[a]
-					asB, okB := op[b]
-					if !okA || !okB || opts.SameOrg(asA, asB) {
-						continue
-					}
-					local[[2]netaddr.Addr{a, b}]++
-				}
-			}
-			partLinks[c] = local
-		}(c, ch[0], ch[1])
-	}
-	wg.Wait()
-	linkCount := map[[2]netaddr.Addr]int{}
-	if len(chunks) > 0 {
-		linkCount = partLinks[0]
-	}
-	for c := 1; c < len(chunks); c++ {
-		for k, n := range partLinks[c] {
-			linkCount[k] += n
+	// to different organizations. The pair counts were accumulated
+	// during Add; the operator filter applies here, once op is final.
+	for k, n := range b.pairCount {
+		asA, okA := op[k[0]]
+		asB, okB := op[k[1]]
+		if !okA || !okB || opts.SameOrg(asA, asB) {
+			continue
 		}
-	}
-	for k, n := range linkCount {
-		asA := op[k[0]]
-		asB := op[k[1]]
 		inf.Links = append(inf.Links, Link{
 			Near: k[0], Far: k[1], NearAS: asA, FarAS: asB, Traces: n,
 		})

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/faults"
@@ -128,6 +129,13 @@ type CollectConfig struct {
 	Faults faults.Profile
 	// FaultSeed seeds the fault-injection streams; 0 means reuse Seed.
 	FaultSeed int64
+	// ChunkTests bounds how many executed tests are resident at once
+	// during streamed collection: CollectStream publishes the corpus in
+	// contiguous chunks of at most this many scheduled tests. 0 means
+	// DefaultChunkTests. The chunk size is NOT part of the corpus
+	// identity — concatenating the chunks yields the identical corpus
+	// at any value.
+	ChunkTests int
 	// Obs, when non-nil, receives collection phase spans, per-shard
 	// test/trace gauges, busy-collector rejection counters, and the
 	// fault layer's injected/retried/recovered/abandoned counters. It
@@ -135,6 +143,12 @@ type CollectConfig struct {
 	// with and without it (see the golden tests).
 	Obs *obs.Registry
 }
+
+// DefaultChunkTests is the streamed-collection chunk size when
+// CollectConfig.ChunkTests is zero. At ~1KB per test record plus its
+// trace, an 8k chunk keeps the in-flight window around 20MB no matter
+// how many tests the campaign schedules.
+const DefaultChunkTests = 8192
 
 // DefaultCollect returns the standard May-2015-style campaign.
 func DefaultCollect() CollectConfig {
@@ -180,6 +194,15 @@ type Completeness struct {
 	// DegradedTraces are retained traces maimed by probe loss or ICMP
 	// rate limiting.
 	DegradedTraces int
+}
+
+// Merge folds another ledger into this one (chunk → campaign totals).
+func (c *Completeness) Merge(o Completeness) {
+	c.ScheduledTests += o.ScheduledTests
+	c.AbandonedTests += o.AbandonedTests
+	c.DroppedRows += o.DroppedRows
+	c.TruncatedTests += o.TruncatedTests
+	c.DegradedTraces += o.DegradedTraces
 }
 
 // Degraded reports whether the campaign lost or maimed any data.
@@ -308,6 +331,60 @@ func scheduleShard(w *topogen.World, cfg CollectConfig, ctx *scheduleCtx,
 	return out
 }
 
+// Chunk is one contiguous slice of a streamed campaign: the published
+// records of schedule ids [FirstID, FirstID+scheduled). Chunks arrive
+// at the sink in id order, and concatenating their Tests and Traces
+// reproduces the batch Corpus byte-for-byte.
+type Chunk struct {
+	// Index is the chunk's position in the stream (0-based).
+	Index int
+	// FirstID is the schedule id of the chunk's first arrival.
+	FirstID int
+	Tests   []*ndt.Test
+	Traces  []*traceroute.Trace
+	// TestsWithoutTrace counts this chunk's busy-collector losses; the
+	// campaign total is the sum over chunks.
+	TestsWithoutTrace int
+	// Completeness is this chunk's slice of the fault ledger (zero when
+	// faults are off); the campaign ledger is the field-wise sum.
+	Completeness Completeness
+	// Watermark is the largest scheduled minute covered by the chunk.
+	// Every later chunk's tests start at minute ≥ Watermark, and every
+	// later trace launches at minute ≥ Watermark−2 (the most negative
+	// collector lag) — the bound streaming consumers use to finalize
+	// time-windowed state.
+	Watermark int
+}
+
+// StreamStats summarizes a streamed campaign: the totals a batch
+// Corpus would carry, plus the streaming envelope.
+type StreamStats struct {
+	Chunks            int
+	Tests             int
+	Traces            int
+	TestsWithoutTrace int
+	Completeness      Completeness
+	// PeakInFlight is the largest number of scheduled tests resident in
+	// one chunk — the memory high-water mark of the record window.
+	PeakInFlight int
+	// WallSeconds and TestsPerSec time the whole collection (schedule
+	// through last chunk published).
+	WallSeconds float64
+	TestsPerSec float64
+}
+
+// addChunk folds one chunk into the running totals.
+func (st *StreamStats) addChunk(c *Chunk, scheduled int) {
+	st.Chunks++
+	st.Tests += len(c.Tests)
+	st.Traces += len(c.Traces)
+	st.TestsWithoutTrace += c.TestsWithoutTrace
+	st.Completeness.Merge(c.Completeness)
+	if scheduled > st.PeakInFlight {
+		st.PeakInFlight = scheduled
+	}
+}
+
 // Collect runs a full crowdsourced campaign serially. The corpus is
 // identical to CollectParallel with any worker count.
 func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
@@ -315,7 +392,9 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 }
 
 // CollectParallel runs a full crowdsourced campaign with the given
-// worker count.
+// worker count, materializing the whole corpus in memory. It is
+// CollectStream with an appending sink, so batch and streamed
+// collection are byte-identical by construction.
 //
 // Determinism contract: the corpus depends only on (World, cfg) —
 // scheduling is split into cfg.Shards independent RNG streams that are
@@ -325,6 +404,33 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 // pre-seeded RNG. Workers only change how the scheduling and execution
 // phases are spread over goroutines, never which draws are made.
 func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus, error) {
+	corpus := &Corpus{}
+	st, err := CollectStream(w, cfg, workers, func(c *Chunk) error {
+		corpus.Tests = append(corpus.Tests, c.Tests...)
+		corpus.Traces = append(corpus.Traces, c.Traces...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	corpus.TestsWithoutTrace = st.TestsWithoutTrace
+	corpus.Completeness = st.Completeness
+	return corpus, nil
+}
+
+// CollectStream runs the campaign and hands the corpus to sink one
+// bounded chunk at a time instead of materializing it. Scheduling, the
+// fault retry plan, and the busy-collector sweep are unchanged — they
+// hold O(Tests) of small per-arrival bookkeeping (~100 bytes each) —
+// but the heavy records (tests with web100 snapshots, traces with hop
+// lists) exist only for the chunk currently executing, so memory stays
+// flat at ChunkTests records regardless of campaign size.
+//
+// The sink is called serially, in chunk order. A sink error aborts the
+// campaign and is returned. The chunk's slices are not reused; the sink
+// may retain them.
+func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*Chunk) error) (*StreamStats, error) {
+	started := time.Now()
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = DefaultShards
@@ -533,135 +639,181 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 	}
 	sweepSpan.End()
 
-	// Phase 3 — execution, parallel over arrivals. Each arrival runs
-	// its NDT test and (when scheduled) its traceroute against a
-	// private RNG seeded during scheduling, so results land in fixed
-	// slots regardless of which worker computes them. Each worker owns
-	// one Rand and re-Seeds it per arrival: Seed(s) leaves the generator
-	// in exactly the NewSource(s) state, so the draws are unchanged but
-	// the ~5 KB source allocation happens once per worker instead of
-	// once per arrival (it was the campaign's largest allocation site).
+	// Phase 3 — execution, parallel over arrivals, chunked. Each
+	// arrival runs its NDT test and (when scheduled) its traceroute
+	// against a private RNG seeded during scheduling, so results land in
+	// fixed slots regardless of which worker computes them. Each worker
+	// owns one Rand and re-Seeds it per arrival: Seed(s) leaves the
+	// generator in exactly the NewSource(s) state, so the draws are
+	// unchanged but the ~5 KB source allocation happens once per worker
+	// instead of once per arrival (it was the campaign's largest
+	// allocation site). Chunking changes only which ids execute
+	// together, never the draws: the per-arrival RNG makes every id's
+	// result independent of its neighbors, and ids publish in order
+	// within and across chunks, so the concatenated stream is the batch
+	// corpus.
+	chunkTests := cfg.ChunkTests
+	if chunkTests <= 0 {
+		chunkTests = DefaultChunkTests
+	}
 	execSpan := reg.Span("collect.execute")
-	tests := make([]*ndt.Test, len(schedule))
-	traces := make([]*traceroute.Trace, len(schedule))
-	errs := make([]error, len(schedule))
 	workerRNGs := make([]*rand.Rand, workers)
 	for i := range workerRNGs {
 		workerRNGs[i] = rand.New(rand.NewSource(0))
 	}
-	runIndexedWorkers(len(schedule), workers, func(worker, id int) {
-		if dropped != nil && dropped[id] {
-			return // abandoned by the retry planner; never ran
+	st := &StreamStats{}
+	perShardTraces := make([]int64, shards)
+	for lo := 0; lo < len(schedule); lo += chunkTests {
+		hi := lo + chunkTests
+		if hi > len(schedule) {
+			hi = len(schedule)
 		}
-		a := schedule[id]
-		minute := a.minute
-		if execMinute != nil {
-			minute = execMinute[id]
-		}
-		h := households[a.hh]
-		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
-		rng := workerRNGs[worker]
-		rng.Seed(a.rngSeed)
-		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
-			server, minute, a.entropy, rng)
-		if err != nil {
-			errs[id] = err
-			return
-		}
-		if inj != nil {
-			if frac, ok := inj.TruncatesTest(arrivalEntity(a)); ok {
-				test.Truncate(frac)
+		tests := make([]*ndt.Test, hi-lo)
+		traces := make([]*traceroute.Trace, hi-lo)
+		errs := make([]error, hi-lo)
+		runIndexedWorkers(hi-lo, workers, func(worker, i int) {
+			id := lo + i
+			if dropped != nil && dropped[id] {
+				return // abandoned by the retry planner; never ran
+			}
+			a := schedule[id]
+			minute := a.minute
+			if execMinute != nil {
+				minute = execMinute[id]
+			}
+			h := households[a.hh]
+			server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
+			rng := workerRNGs[worker]
+			rng.Seed(a.rngSeed)
+			test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
+				server, minute, a.entropy, rng)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if inj != nil {
+				if frac, ok := inj.TruncatesTest(arrivalEntity(a)); ok {
+					test.Truncate(frac)
+				}
+			}
+			tests[i] = test
+			if launches[id] < 0 {
+				return
+			}
+			tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launches[id], rng)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			inj.PerturbTrace(arrivalEntity(a), tr)
+			traces[i] = tr
+		})
+		for _, err := range errs {
+			if err != nil {
+				execSpan.End()
+				return nil, err
 			}
 		}
-		tests[id] = test
-		if launches[id] < 0 {
-			return
+		chunk := publishChunk(st.Chunks, lo, hi, schedule, tests, traces, launches, dropped, inj)
+		for i, tr := range traces {
+			if tr != nil {
+				perShardTraces[schedule[lo+i].shard]++
+			}
 		}
-		tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launches[id], rng)
-		if err != nil {
-			errs[id] = err
-			return
+		st.addChunk(chunk, hi-lo)
+		if reg != nil {
+			reg.Counter("collect.tests").Add(uint64(len(chunk.Tests)))
+			reg.Counter("collect.traces").Add(uint64(len(chunk.Traces)))
+			reg.Counter("collect.chunks").Inc()
 		}
-		inj.PerturbTrace(arrivalEntity(a), tr)
-		traces[id] = tr
-	})
-	execSpan.End()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err := sink(chunk); err != nil {
+			execSpan.End()
+			return nil, fmt.Errorf("platform: corpus sink at chunk %d: %w", chunk.Index, err)
 		}
 	}
+	execSpan.End()
 
-	corpus := &Corpus{}
+	st.WallSeconds = time.Since(started).Seconds()
+	if st.WallSeconds > 0 {
+		st.TestsPerSec = float64(st.Tests) / st.WallSeconds
+	}
+	if reg != nil {
+		for s, n := range perShardTraces {
+			reg.Gauge(fmt.Sprintf("collect.shard.%02d.traces", s)).Set(n)
+		}
+		reg.Gauge("collect.stream.chunks").Set(int64(st.Chunks))
+		reg.Gauge("collect.stream.peak_inflight").Set(int64(st.PeakInFlight))
+		reg.Gauge("collect.stream.tests_per_sec").Set(int64(st.TestsPerSec))
+	}
+	return st, nil
+}
+
+// publishChunk turns the executed slots of schedule ids [lo, hi) into
+// one published Chunk. It is the batch publication logic applied to an
+// id range: clean campaigns publish every test in id order and the
+// launched traces in id order; under faults, abandoned tests vanish,
+// corrupt rows drop, and the chunk's completeness delta accounts for
+// each loss.
+func publishChunk(index, lo, hi int, schedule []arrival, tests []*ndt.Test,
+	traces []*traceroute.Trace, launches []int, dropped []bool, inj *faults.Injector) *Chunk {
+
+	chunk := &Chunk{Index: index, FirstID: lo, Watermark: schedule[hi-1].minute}
 	if inj == nil {
-		corpus.Tests = tests
+		chunk.Tests = tests
 		nTraces := 0
 		for _, tr := range traces {
 			if tr != nil {
 				nTraces++
 			}
 		}
-		corpus.Traces = make([]*traceroute.Trace, 0, nTraces)
-		for id, tr := range traces {
+		chunk.Traces = make([]*traceroute.Trace, 0, nTraces)
+		for i, tr := range traces {
 			if tr != nil {
-				corpus.Traces = append(corpus.Traces, tr)
-			} else if launches[id] < 0 {
-				corpus.TestsWithoutTrace++
+				chunk.Traces = append(chunk.Traces, tr)
+			} else if launches[lo+i] < 0 {
+				chunk.TestsWithoutTrace++
 			}
 		}
-	} else {
-		// Publication under faults: abandoned tests never produced
-		// records, corrupted rows are dropped at publication time (their
-		// traces survive — the trace feed is a separate pipeline), and
-		// the completeness ledger accounts for every loss.
-		comp := Completeness{ScheduledTests: len(schedule)}
-		corpus.Tests = make([]*ndt.Test, 0, len(schedule))
-		corpus.Traces = make([]*traceroute.Trace, 0, len(schedule))
-		for id, test := range tests {
-			if dropped[id] {
-				comp.AbandonedTests++
-				continue
-			}
-			if test == nil {
-				continue
-			}
-			if inj.CorruptsRow(arrivalEntity(schedule[id])) {
-				comp.DroppedRows++
-				continue
-			}
-			if test.Truncated {
-				comp.TruncatedTests++
-			}
-			corpus.Tests = append(corpus.Tests, test)
-		}
-		for id, tr := range traces {
-			if tr == nil {
-				if !dropped[id] && launches[id] < 0 {
-					corpus.TestsWithoutTrace++
-				}
-				continue
-			}
-			if tr.Degraded {
-				comp.DegradedTraces++
-			}
-			corpus.Traces = append(corpus.Traces, tr)
-		}
-		corpus.Completeness = comp
+		return chunk
 	}
-	if reg != nil {
-		reg.Counter("collect.tests").Add(uint64(len(corpus.Tests)))
-		reg.Counter("collect.traces").Add(uint64(len(corpus.Traces)))
-		perShardTraces := make([]int64, shards)
-		for id, tr := range traces {
-			if tr != nil {
-				perShardTraces[schedule[id].shard]++
-			}
+	// Publication under faults: abandoned tests never produced records,
+	// corrupted rows are dropped at publication time (their traces
+	// survive — the trace feed is a separate pipeline), and the
+	// completeness ledger accounts for every loss.
+	comp := Completeness{ScheduledTests: hi - lo}
+	chunk.Tests = make([]*ndt.Test, 0, hi-lo)
+	chunk.Traces = make([]*traceroute.Trace, 0, hi-lo)
+	for i, test := range tests {
+		if dropped[lo+i] {
+			comp.AbandonedTests++
+			continue
 		}
-		for s, n := range perShardTraces {
-			reg.Gauge(fmt.Sprintf("collect.shard.%02d.traces", s)).Set(n)
+		if test == nil {
+			continue
 		}
+		if inj.CorruptsRow(arrivalEntity(schedule[lo+i])) {
+			comp.DroppedRows++
+			continue
+		}
+		if test.Truncated {
+			comp.TruncatedTests++
+		}
+		chunk.Tests = append(chunk.Tests, test)
 	}
-	return corpus, nil
+	for i, tr := range traces {
+		if tr == nil {
+			if !dropped[lo+i] && launches[lo+i] < 0 {
+				chunk.TestsWithoutTrace++
+			}
+			continue
+		}
+		if tr.Degraded {
+			comp.DegradedTraces++
+		}
+		chunk.Traces = append(chunk.Traces, tr)
+	}
+	chunk.Completeness = comp
+	return chunk
 }
 
 // runIndexed invokes fn(i) for every i in [0, n), spread over up to

@@ -1,0 +1,246 @@
+// Streaming report assembly: the same §7 checklist as Build, fed chunk
+// by chunk so a large or persisted corpus never has to be resident all
+// at once. The reduction is two-pass — operator inference must see
+// every trace before any path can be labeled — and every per-group
+// aggregate is either accumulated in corpus order (the float-summation
+// sensitive series and bias bins) or order-independent (integer
+// counters, link sets), so the rendered report is byte-identical to the
+// batch path.
+package report
+
+import (
+	"sort"
+
+	"throughputlab/internal/core"
+	"throughputlab/internal/datasets"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/obs"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/signatures"
+	"throughputlab/internal/traceroute"
+)
+
+// MatchWindowMin and MatchMode are the association parameters the
+// pipeline uses everywhere (experiments.NewEnv and the streaming
+// builder must agree, or stream and batch reports diverge).
+const (
+	MatchWindowMin = 10
+	MatchModeUsed  = core.WindowAfter
+)
+
+// MetroHourOf returns a world-free client-local-hour function backed by
+// the static metro table. Persisted corpora carry metro codes, not
+// geometry, and the generator sources its metros from the same table,
+// so this agrees exactly with experiments.Env.HourOf.
+func MetroHourOf() func(*ndt.Test) float64 {
+	offsets := map[string]int{}
+	for _, m := range datasets.USMetros() {
+		offsets[m.Code] = m.UTCOffset
+	}
+	return func(t *ndt.Test) float64 {
+		// Inline geo.Metro.LocalHour for the known code set; unknown
+		// metros fall back to UTC rather than panicking on foreign data.
+		h := float64(t.StartMinute)/60 + float64(offsets[t.ClientMetro])
+		h -= float64(int(h/24) * 24)
+		if h < 0 {
+			h += 24
+		}
+		return h
+	}
+}
+
+// streamGroup is the per-aggregate accumulator mirroring buildFinding.
+type streamGroup struct {
+	tests     int
+	series    core.Series
+	perClient map[uint32]int
+	det, ext  int
+
+	matched, oneHop, pathKnown int
+	linkSet                    map[uint32]bool
+}
+
+// StreamBuilder assembles a Report incrementally. Protocol:
+//
+//	b := NewStreamBuilder(cfg, hourOf, mapitOpts)
+//	for each chunk { b.AddTraces(chunk.Traces) }     // pass 1
+//	b.FinishInference()
+//	for each chunk { b.AddChunk(tests, traces, wm) } // pass 2, same order
+//	rep := b.Finish(completeness)
+//
+// Pass 2 replays the same chunks (from a persisted stream, or by
+// re-collecting the deterministic campaign). Peak memory is one chunk
+// plus the matcher's watermark buffer plus per-group aggregates.
+type StreamBuilder struct {
+	cfg    Config
+	hourOf func(*ndt.Test) float64
+	reg    *obs.Registry
+
+	mb  *mapit.Builder
+	inf *mapit.Inference
+
+	matcher *core.StreamMatcher
+	groups  map[gkey]*streamGroup
+}
+
+type gkey struct{ net, metro, isp string }
+
+// NewStreamBuilder starts a streaming report assembly.
+func NewStreamBuilder(cfg Config, hourOf func(*ndt.Test) float64, opts mapit.Opts) *StreamBuilder {
+	if cfg.MinTests == 0 {
+		cfg = DefaultConfig()
+	}
+	return &StreamBuilder{
+		cfg:    cfg,
+		hourOf: hourOf,
+		reg:    opts.Obs,
+		mb:     mapit.NewBuilder(opts),
+		groups: map[gkey]*streamGroup{},
+	}
+}
+
+// AddTraces folds one chunk of traces into the operator inference
+// (pass 1).
+func (b *StreamBuilder) AddTraces(traces []*traceroute.Trace) {
+	if b.inf != nil {
+		panic("report: AddTraces after FinishInference")
+	}
+	b.mb.Add(traces)
+}
+
+// FinishInference seals MAP-IT and arms the matcher; it returns the
+// inference for callers that also need border analysis
+// (bdrmap.NewAnalyzerFromInference).
+func (b *StreamBuilder) FinishInference() *mapit.Inference {
+	if b.inf != nil {
+		return b.inf
+	}
+	sp := b.reg.Span("mapit")
+	b.inf = b.mb.Finish()
+	sp.End()
+	b.mb = nil
+	b.matcher = core.NewStreamMatcher(MatchWindowMin, MatchModeUsed)
+	b.matcher.OnPair = b.onPair
+	return b.inf
+}
+
+// AddChunk folds one chunk of the corpus (pass 2). watermark is the
+// chunk's scheduling watermark (platform.Chunk.Watermark /
+// export.StreamChunk.Watermark).
+func (b *StreamBuilder) AddChunk(tests []*ndt.Test, traces []*traceroute.Trace, watermark int) {
+	if b.inf == nil {
+		panic("report: AddChunk before FinishInference")
+	}
+	// Per-test aggregation happens here, in publication order, so the
+	// float summation order inside each group's series matches the batch
+	// path exactly.
+	for _, t := range tests {
+		g := b.group(t)
+		g.tests++
+		h := b.hourOf(t)
+		g.series.Add(h, t)
+		g.perClient[uint32(t.ClientAddr)]++
+		if h >= 19 && h < 23 {
+			switch signatures.Classify(signatures.Extract(t), b.cfg.Signature) {
+			case signatures.ExternalCongestion:
+				g.det++
+				g.ext++
+			case signatures.SelfInduced:
+				g.det++
+			}
+		}
+	}
+	b.matcher.Add(tests, traces, watermark)
+	if b.reg != nil {
+		pt, pr := b.matcher.InFlight()
+		b.reg.Gauge("report.stream.pending_tests").Set(int64(pt))
+		b.reg.Gauge("report.stream.buffered_traces").Set(int64(pr))
+	}
+}
+
+func (b *StreamBuilder) group(t *ndt.Test) *streamGroup {
+	k := gkey{t.ServerNet, t.ServerMetro, t.ClientISP}
+	g := b.groups[k]
+	if g == nil {
+		g = &streamGroup{perClient: map[uint32]int{}, linkSet: map[uint32]bool{}}
+		b.groups[k] = g
+	}
+	return g
+}
+
+// onPair receives finalized associations from the matcher. Everything
+// it touches is order-independent (counters and set inserts), so the
+// matcher's finalization order — which differs from group order — never
+// shows in the report.
+func (b *StreamBuilder) onPair(t *ndt.Test, tr *traceroute.Trace) {
+	if tr == nil {
+		return
+	}
+	g := b.group(t)
+	g.matched++
+	p := b.inf.ASPathOf(tr)
+	if len(p) >= 2 {
+		g.pathKnown++
+		if len(p) == 2 {
+			g.oneHop++
+		}
+	}
+	if links := b.inf.LinksOf(tr); len(links) > 0 {
+		g.linkSet[uint32(links[0].Far)] = true
+	}
+}
+
+// Finish drains the matcher, grades every group, and returns the
+// report.
+func (b *StreamBuilder) Finish(completeness platform.Completeness) *Report {
+	if b.inf == nil {
+		b.FinishInference()
+	}
+	m := b.matcher.Finish()
+	if b.reg != nil {
+		b.reg.Gauge("match.pairs").Set(int64(m.Matched()))
+		b.reg.Gauge("match.degraded").Set(int64(m.Degraded))
+	}
+
+	keys := make([]gkey, 0, len(b.groups))
+	for k, g := range b.groups {
+		if g.tests >= b.cfg.MinTests {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.net != c.net {
+			return a.net < c.net
+		}
+		if a.metro != c.metro {
+			return a.metro < c.metro
+		}
+		return a.isp < c.isp
+	})
+
+	rep := &Report{Completeness: completeness, MatchedDegraded: m.Degraded}
+	for _, k := range keys {
+		g := b.groups[k]
+		f := Finding{
+			ServerNet: k.net, ServerMetro: k.metro, ClientISP: k.isp,
+			Tests:       g.tests,
+			MatchedFrac: frac(g.matched, g.tests),
+			OneHopFrac:  frac(g.oneHop, g.pathKnown),
+			IPLinks:     len(g.linkSet),
+		}
+		f.Detector = core.Detect(&g.series, b.cfg.Detector)
+		f.Bias = core.BiasFromBins(&g.series.Throughput, g.perClient, b.cfg.Detector.MinSamples)
+		f.ExternalSigFrac = frac(g.ext, g.det)
+		grade(&f, b.cfg)
+		switch f.Grade {
+		case CongestedHighConfidence, CongestedLowConfidence:
+			rep.Congested++
+		case Ambiguous:
+			rep.Ambiguous++
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"throughputlab/internal/core"
+	"throughputlab/internal/experiments"
+	"throughputlab/internal/faults"
+	"throughputlab/internal/mapit"
+	"throughputlab/internal/platform"
+)
+
+// streamReport runs the two-pass streaming assembly over a campaign by
+// re-collecting the deterministic stream for pass 2.
+func streamReport(t *testing.T, cfg platform.CollectConfig, workers int) *Report {
+	t.Helper()
+	b := NewStreamBuilder(DefaultConfig(), MetroHourOf(), env.MapItOpts())
+	if _, err := platform.CollectStream(env.World, cfg, workers, func(c *platform.Chunk) error {
+		b.AddTraces(c.Traces)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.FinishInference()
+	st, err := platform.CollectStream(env.World, cfg, workers, func(c *platform.Chunk) error {
+		b.AddChunk(c.Tests, c.Traces, c.Watermark)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Finish(st.Completeness)
+}
+
+// TestStreamReportMatchesBatch is the tentpole's report-level parity
+// pin: the chunked two-pass assembly renders byte-for-byte the same
+// report as the in-memory batch path, including the world-free
+// MetroHourOf standing in for Env.HourOf.
+func TestStreamReportMatchesBatch(t *testing.T) {
+	want := built.Render()
+	for _, workers := range []int{1, 4} {
+		cfg := env.Opts.Collect
+		cfg.ChunkTests = 1024
+		got := streamReport(t, cfg, workers).Render()
+		if got != want {
+			t.Fatalf("streamed report (workers=%d) diverges from batch:\n%s",
+				workers, firstDiff(want, got))
+		}
+	}
+}
+
+// TestStreamReportMatchesBatchUnderFaults extends the parity to a
+// degraded campaign, where completeness ledgers and degraded-pair
+// exclusions flow through the streamed path too.
+func TestStreamReportMatchesBatchUnderFaults(t *testing.T) {
+	cfg := env.Opts.Collect
+	cfg.Tests = 4000
+	cfg.Faults = faults.Heavy()
+	cfg.ChunkTests = 512
+
+	corpus, err := platform.Collect(env.World, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := &experiments.Env{
+		Opts:      env.Opts,
+		World:     env.World,
+		Corpus:    corpus,
+		Inference: mapit.Run(corpus.Traces, env.MapItOpts()),
+		Matching:  core.MatchTraces(corpus.Tests, corpus.Traces, MatchWindowMin, MatchModeUsed),
+	}
+	want := Build(fe, DefaultConfig()).Render()
+	got := streamReport(t, cfg, 4).Render()
+	if got != want {
+		t.Fatalf("faulted streamed report diverges from batch:\n%s", firstDiff(want, got))
+	}
+	if !strings.Contains(want, "data completeness:") {
+		t.Fatal("faulted report missing completeness section (fixture too clean)")
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  batch:  %s\n  stream: %s", i, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("length differs: batch %d lines, stream %d", len(w), len(g))
+}

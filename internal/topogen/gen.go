@@ -57,6 +57,12 @@ type brKey struct {
 }
 
 // Generate builds the world.
+// lazyRouteThreshold is the AS count above which generation always
+// uses lazy per-destination routing: at 10k ASes the eager n×n tables
+// cross ~600MB and grow quadratically from there, while campaigns touch
+// only the few dozen destination trees behind servers and client pools.
+const lazyRouteThreshold = 10000
+
 func Generate(cfg Config) (*World, error) {
 	if cfg.Scale.StubASes == 0 {
 		cfg.Scale = datasets.DefaultScale()
@@ -138,7 +144,13 @@ func Generate(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("topogen: generated topology invalid: %v (and %d more)", errs[0], len(errs)-1)
 	}
 
-	phase("bgp", func(sp *obs.Span) { b.world.Routes = bgp.ComputeWorkers(b.topo, workers, sp) })
+	phase("bgp", func(sp *obs.Span) {
+		if cfg.LazyRoutes || b.topo.NumASes() >= lazyRouteThreshold {
+			b.world.Routes = bgp.ComputeLazy(b.topo)
+			return
+		}
+		b.world.Routes = bgp.ComputeWorkers(b.topo, workers, sp)
+	})
 	phase("resolver", func(*obs.Span) {
 		b.world.Resolver = routing.New(b.topo, b.world.Routes)
 		b.world.Resolver.Observe(reg)
@@ -149,6 +161,9 @@ func Generate(cfg Config) (*World, error) {
 	if reg != nil {
 		for _, ph := range []string{"dnsnames", "validate", "bgp"} {
 			reg.Gauge("topogen.workers." + ph).Set(int64(workers))
+		}
+		if b.world.Routes.Lazy() {
+			reg.Gauge("topogen.routes.lazy").Set(1)
 		}
 		st := b.topo.CollectStats()
 		reg.Gauge("topogen.ases").Set(int64(st.ASes))
@@ -741,8 +756,18 @@ func (b *builder) buildStubs() {
 	}
 	choose := newWeightedChooser(weights)
 	stubs := make([]stub, 0, b.cfg.Scale.StubASes)
+	// Stubs number from 50000 upward, skipping ASNs the earlier phases
+	// already assigned (the real-world roster ASNs land in this range
+	// once StubASes reaches internet scale). Stubs build last, so the
+	// taken-set is complete here, and the skip changes nothing for
+	// scales whose stub window is collision-free.
+	next := topology.ASN(50000)
 	for i := 0; i < b.cfg.Scale.StubASes; i++ {
-		asn := topology.ASN(50000 + i)
+		for b.topo.AS(next) != nil {
+			next++
+		}
+		asn := next
+		next++
 		mi := choose.pick(b.rng)
 		metro := metrosOf[mi].Code
 		hosting := b.rng.Float64() < b.cfg.Scale.HostingFrac

@@ -108,6 +108,13 @@ type Config struct {
 	// count: parallel phases shard deterministically and derive per-shard
 	// RNG streams from Seed rather than sharing the master stream.
 	Workers int
+	// LazyRoutes computes per-destination BGP trees on first use instead
+	// of materializing the full n×n tables at generation time. Routing
+	// answers are identical either way (bgp.ComputeLazy); only memory
+	// and generation time change. Worlds with ≥ lazyRouteThreshold ASes
+	// switch to lazy mode regardless, since their eager tables would
+	// need tens of GB.
+	LazyRoutes bool
 	// Obs, when non-nil, receives generation phase spans and
 	// produced-entity gauges, and the world's resolver reports its cache
 	// counters there. Instrumentation never changes the generated world.
