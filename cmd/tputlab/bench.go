@@ -17,6 +17,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -63,15 +65,20 @@ type FaultOverhead struct {
 // next to its throughput, so perf PRs can see both the memory bound
 // and the records-per-second cost of streaming.
 type StreamingResult struct {
-	Scale        string  `json:"scale"`
-	Tests        int     `json:"tests"`
-	Traces       int     `json:"traces"`
-	Chunks       int     `json:"chunks"`
-	ChunkTests   int     `json:"chunk_tests"`
-	PeakInFlight int     `json:"peak_in_flight"`
-	Workers      int     `json:"workers"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	TestsPerSec  float64 `json:"tests_per_second"`
+	Scale        string `json:"scale"`
+	Tests        int    `json:"tests"`
+	Traces       int    `json:"traces"`
+	Chunks       int    `json:"chunks"`
+	ChunkTests   int    `json:"chunk_tests"`
+	PeakInFlight int    `json:"peak_in_flight"`
+	Workers      int    `json:"workers"`
+	// Pipelined marks chunk-parallel production (PipelineChunks > 0);
+	// PipelineWindow is the reorder-window depth that bounded it. The
+	// corpus is byte-identical either way — these rows measure cost.
+	Pipelined      bool    `json:"pipelined"`
+	PipelineWindow int     `json:"pipeline_window,omitempty"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	TestsPerSec    float64 `json:"tests_per_second"`
 }
 
 // Baseline is the full emitted document.
@@ -99,6 +106,40 @@ type Baseline struct {
 	Observability *obs.Dump `json:"observability,omitempty"`
 }
 
+// benchStreamWindow is the reorder-window depth the pipelined
+// streaming rows run at; it matches the CI streaming smoke.
+const benchStreamWindow = 4
+
+// resolverRates snapshots a world resolver's cache efficiency as
+// percentages.
+func resolverRates(r *routing.Resolver) map[string]float64 {
+	st := r.Stats()
+	rate := func(h, m uint64) float64 {
+		if h+m == 0 {
+			return 0
+		}
+		return 100 * float64(h) / float64(h+m)
+	}
+	return map[string]float64{
+		"segment": rate(st.SegmentHits, st.SegmentMisses),
+		"inter":   rate(st.InterHits, st.InterMisses),
+		"aspath":  rate(st.ASPathHits, st.ASPathMisses),
+	}
+}
+
+// parseWorkerList parses a "1,2,8"-style -stream-workers value.
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -stream-workers entry %q (want positive integers, e.g. 1,2,8)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func record(name string, r testing.BenchmarkResult) BenchResult {
 	return BenchResult{
 		Name:        name,
@@ -118,6 +159,7 @@ func benchCmd(args []string) error {
 	genWorkers := fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count for the parallel generation measurement")
 	quick := fs.Bool("quick", false, "CI smoke mode: small-scale measurements only")
 	streamScale := fs.String("stream-scale", "", "also measure streamed collection at this -scale profile (e.g. large, xlarge)")
+	streamWorkers := fs.String("stream-workers", "", "comma-separated worker counts for pipelined -stream-scale rows (e.g. 1,2,8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -331,20 +373,31 @@ func benchCmd(args []string) error {
 			Chunks: sst.Chunks, ChunkTests: scfg.ChunkTests, PeakInFlight: sst.PeakInFlight,
 			Workers: *workers, WallSeconds: sst.WallSeconds, TestsPerSec: sst.TestsPerSec,
 		})
+		// Pipelined leg on the same config: chunk-parallel production
+		// behind the reorder window, so every baseline carries a
+		// barrier-vs-pipelined pair per scale.
+		pcfg := scfg
+		pcfg.PipelineChunks = benchStreamWindow
+		fmt.Fprintf(os.Stderr, "bench: streamed collection (%s, pipelined, window %d)...\n", scale.name, pcfg.PipelineChunks)
+		pst, err := platform.CollectStream(fw, pcfg, *workers, func(*platform.Chunk) error { return nil })
+		if err != nil {
+			return err
+		}
+		b.Streaming = append(b.Streaming, StreamingResult{
+			Scale: scale.name, Tests: pst.Tests, Traces: pst.Traces,
+			Chunks: pst.Chunks, ChunkTests: pcfg.ChunkTests, PeakInFlight: pst.PeakInFlight,
+			Workers: *workers, Pipelined: true, PipelineWindow: pcfg.PipelineChunks,
+			WallSeconds: pst.WallSeconds, TestsPerSec: pst.TestsPerSec,
+		})
 		if scale.name == "medium" {
-			st := fw.Resolver.Stats()
-			rate := func(h, m uint64) float64 {
-				if h+m == 0 {
-					return 0
-				}
-				return 100 * float64(h) / float64(h+m)
-			}
-			b.ResolverCacheHitRates = map[string]float64{
-				"segment": rate(st.SegmentHits, st.SegmentMisses),
-				"inter":   rate(st.InterHits, st.InterMisses),
-				"aspath":  rate(st.ASPathHits, st.ASPathMisses),
-			}
+			b.ResolverCacheHitRates = resolverRates(fw.Resolver)
 			b.Observability = reg.Snapshot()
+		}
+		// The streamed legs exercised the resolver either way: in -quick
+		// mode (no medium run) snapshot the cache efficiency here so the
+		// baseline never carries a null rate table.
+		if b.ResolverCacheHitRates == nil {
+			b.ResolverCacheHitRates = resolverRates(fw.Resolver)
 		}
 	}
 
@@ -365,6 +418,9 @@ func benchCmd(args []string) error {
 		if chunk <= 0 {
 			chunk = platform.DefaultChunkTests
 		}
+		// One barrier row for continuity with earlier baselines, then
+		// (with -stream-workers) pipelined rows across worker counts on
+		// the same warm world — the corpus is identical in every row.
 		fmt.Fprintf(os.Stderr, "bench: streamed collection (%s, %d tests, %d workers, chunk size %d)...\n",
 			*streamScale, cfg.Tests, *workers, chunk)
 		sst, err := platform.CollectStream(sw, cfg, *workers, func(*platform.Chunk) error { return nil })
@@ -376,6 +432,31 @@ func benchCmd(args []string) error {
 			Chunks: sst.Chunks, ChunkTests: chunk, PeakInFlight: sst.PeakInFlight,
 			Workers: *workers, WallSeconds: sst.WallSeconds, TestsPerSec: sst.TestsPerSec,
 		})
+		if *streamWorkers != "" {
+			counts, err := parseWorkerList(*streamWorkers)
+			if err != nil {
+				return err
+			}
+			for _, n := range counts {
+				pcfg := cfg
+				pcfg.PipelineChunks = benchStreamWindow
+				fmt.Fprintf(os.Stderr, "bench: streamed collection (%s, pipelined, %d workers, window %d)...\n",
+					*streamScale, n, pcfg.PipelineChunks)
+				pst, err := platform.CollectStream(sw, pcfg, n, func(*platform.Chunk) error { return nil })
+				if err != nil {
+					return err
+				}
+				b.Streaming = append(b.Streaming, StreamingResult{
+					Scale: *streamScale, Tests: pst.Tests, Traces: pst.Traces,
+					Chunks: pst.Chunks, ChunkTests: chunk, PeakInFlight: pst.PeakInFlight,
+					Workers: n, Pipelined: true, PipelineWindow: pcfg.PipelineChunks,
+					WallSeconds: pst.WallSeconds, TestsPerSec: pst.TestsPerSec,
+				})
+			}
+		}
+		if b.ResolverCacheHitRates == nil {
+			b.ResolverCacheHitRates = resolverRates(sw.Resolver)
+		}
 	}
 
 	f, err := os.Create(path)

@@ -21,15 +21,25 @@ import (
 	"runtime"
 	"time"
 
+	"throughputlab/internal/bdrmap"
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/export"
 	"throughputlab/internal/faults"
+	"throughputlab/internal/mapit"
 	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/report"
+	"throughputlab/internal/stream"
 	"throughputlab/internal/topogen"
+	"throughputlab/internal/topology"
 )
+
+// pipelineDepth bounds each report-pipeline stage's input channel: a
+// stalled stage backpressures the producer after this many chunks.
+// Depth 1 keeps stages overlapped while holding the fan-out's share of
+// resident chunks to one queued plus one in-process per stage.
+const pipelineDepth = 1
 
 func main() {
 	if len(os.Args) < 2 {
@@ -91,6 +101,12 @@ flags for run/report:
   -tests N               NDT corpus size (0 = scale default)
   -parallel N            engine worker count (default GOMAXPROCS);
                          results are identical for every N
+  -pipeline N            chunk-parallel streamed collection: workers
+                         produce whole chunks concurrently and a
+                         reorder buffer of depth N re-sequences them
+                         (0 = per-chunk barrier, the default); the
+                         corpus and report are byte-identical for
+                         every value
   -genworkers N          world-generation worker count (default
                          GOMAXPROCS); the world is byte-identical
                          for every N
@@ -143,6 +159,7 @@ type commonFlags struct {
 	seed        *int64
 	tests       *int
 	workers     *int
+	pipeline    *int
 	genWorkers  *int
 	faults      *string
 	faultSeed   *int64
@@ -157,6 +174,7 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 		seed:        fs.Int64("seed", 1, "generation seed"),
 		tests:       fs.Int("tests", 0, "NDT corpus size override"),
 		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
+		pipeline:    fs.Int("pipeline", 0, "streamed chunk-pipeline reorder window, 0 = per-chunk barrier"),
 		genWorkers:  fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count"),
 		faults:      fs.String("faults", "off", "fault-injection profile: off, light, moderate or heavy"),
 		faultSeed:   fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
@@ -190,6 +208,9 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	if err := validateWorkers("genworkers", *cf.genWorkers); err != nil {
 		return experiments.Options{}, nil, err
 	}
+	if *cf.pipeline < 0 {
+		return experiments.Options{}, nil, fmt.Errorf("-pipeline must be >= 0 (got %d)", *cf.pipeline)
+	}
 	prof, err := faults.ByName(*cf.faults)
 	if err != nil {
 		return experiments.Options{}, nil, err
@@ -201,6 +222,7 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	}
 	opts.Collect.Faults = prof
 	opts.Collect.FaultSeed = *cf.faultSeed
+	opts.Collect.PipelineChunks = *cf.pipeline
 	opts.Workers = *cf.workers
 	var reg *obs.Registry
 	if *cf.metrics || *cf.metricsJSON != "" {
@@ -237,7 +259,7 @@ func (cf *commonFlags) emitMetrics(reg *obs.Registry) error {
 func reportCmd(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	cf := addCommonFlags(fs)
-	stream := fs.Bool("stream", false, "assemble the report through the bounded-memory chunked pipeline")
+	streamed := fs.Bool("stream", false, "assemble the report through the bounded-memory chunked pipeline")
 	corpusIn := fs.String("corpus", "", "report over a persisted corpus stream instead of collecting")
 	corpusOut := fs.String("corpus-out", "", "persist the corpus to this file while collecting")
 	if err := fs.Parse(args); err != nil {
@@ -254,7 +276,7 @@ func reportCmd(args []string) error {
 			return fmt.Errorf("-corpus and -corpus-out are mutually exclusive (the stream already exists)")
 		}
 		out, err = reportFromCorpus(*corpusIn, opts, reg)
-	case *stream:
+	case *streamed:
 		out, err = reportStreamed(opts, reg, *cf.scale, *corpusOut)
 	default:
 		var sealCorpus func() error
@@ -287,15 +309,15 @@ func reportCmd(args []string) error {
 func teeCorpus(path string, opts *experiments.Options, scale string) func() error {
 	var f *os.File
 	var sw *export.StreamWriter
-	seed, tests := opts.Topo.Seed, opts.Collect.Tests
+	seed, tests, workers := opts.Topo.Seed, opts.Collect.Tests, opts.Workers
 	opts.CorpusSink = func(w *topogen.World) (func(*platform.Chunk) error, error) {
 		var err error
 		f, err = os.Create(path)
 		if err != nil {
 			return nil, err
 		}
-		sw, err = export.NewStreamWriter(f, export.FromWorld(w, nil).Public,
-			export.StreamMeta{Scale: scale, Seed: seed, Tests: tests})
+		sw, err = export.NewStreamWriterWorkers(f, export.FromWorld(w, nil).Public,
+			export.StreamMeta{Scale: scale, Seed: seed, Tests: tests}, workers)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -317,11 +339,14 @@ func teeCorpus(path string, opts *experiments.Options, scale string) func() erro
 }
 
 // reportStreamed is `report -stream`: the two-pass chunked assembly
-// over a live campaign. Pass 1 re-collects the deterministic stream for
-// operator inference (optionally persisting it to corpusOut), pass 2
-// replays the identical stream for matching and per-group aggregation.
-// Peak memory is one chunk plus the matcher's watermark window; the
-// rendered report is byte-identical to the batch path.
+// over a live campaign, with the consumers of each pass fanned out on
+// their own goroutines behind bounded channels. Pass 1 re-collects the
+// deterministic stream for operator inference while (optionally)
+// persisting it to corpusOut; pass 2 replays the identical stream with
+// per-test aggregation, trace matching, and the bdrmap border
+// accumulator overlapping. Peak memory is a few chunks plus the
+// matcher's watermark window; the rendered report is byte-identical to
+// the batch path at every -parallel/-pipeline value.
 func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOut string) (string, error) {
 	opts.Topo.Obs = reg
 	opts.Collect.Obs = reg
@@ -338,7 +363,10 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 	mopts.Obs = reg
 	b := report.NewStreamBuilder(report.DefaultConfig(), report.MetroHourOf(), mopts)
 
-	sink := func(c *platform.Chunk) error { b.AddTraces(c.Traces); return nil }
+	p1 := []stream.Stage[*platform.Chunk]{{
+		Name: "mapit",
+		Fn:   func(c *platform.Chunk) error { b.AddTraces(c.Traces); return nil },
+	}}
 	var seal func() error
 	if corpusOut != "" {
 		eo := opts
@@ -347,24 +375,44 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 		if err != nil {
 			return "", err
 		}
-		sink = func(c *platform.Chunk) error { b.AddTraces(c.Traces); return tee(c) }
+		p1 = append(p1, stream.Stage[*platform.Chunk]{Name: "export", Fn: tee})
 	}
-	if _, err := platform.CollectStream(w, opts.Collect, workers, sink); err != nil {
-		return "", err
+	pipe := stream.NewPipeline("pass1", pipelineDepth, reg, p1...)
+	_, cErr := platform.CollectStream(w, opts.Collect, workers, pipe.Send)
+	if err := pipe.Close(); cErr == nil {
+		cErr = err
+	}
+	if cErr != nil {
+		return "", cErr
 	}
 	if seal != nil {
 		if err := seal(); err != nil {
 			return "", err
 		}
 	}
-	b.FinishInference()
+	inf := b.FinishInference()
 
-	st, err := platform.CollectStream(w, opts.Collect, workers, func(c *platform.Chunk) error {
-		b.AddChunk(c.Tests, c.Traces, c.Watermark)
-		return nil
-	})
-	if err != nil {
-		return "", err
+	// The border accumulator shares the sealed inference; its result
+	// surfaces through gauges only, so stdout stays byte-identical to
+	// the batch report.
+	acc := bdrmapAccumulator(w, inf, mopts)
+	pipe = stream.NewPipeline("pass2", pipelineDepth, reg,
+		stream.Stage[*platform.Chunk]{Name: "aggregate",
+			Fn: func(c *platform.Chunk) error { b.AddTests(c.Tests); return nil }},
+		stream.Stage[*platform.Chunk]{Name: "match",
+			Fn: func(c *platform.Chunk) error { b.AddMatch(c.Tests, c.Traces, c.Watermark); return nil }},
+		stream.Stage[*platform.Chunk]{Name: "bdrmap",
+			Fn: func(c *platform.Chunk) error { acc.Add(c.Traces); return nil }},
+	)
+	st, cErr := platform.CollectStream(w, opts.Collect, workers, pipe.Send)
+	if err := pipe.Close(); cErr == nil {
+		cErr = err
+	}
+	if cErr != nil {
+		return "", cErr
+	}
+	if reg != nil {
+		reg.Gauge("bdrmap.neighbors").Set(int64(len(acc.Result().Borders)))
 	}
 	sp := reg.Span("report")
 	out := b.Finish(st.Completeness).Render()
@@ -372,29 +420,48 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 	return out, nil
 }
 
+// bdrmapAccumulator arms a border accumulator over the streamed
+// campaign's inference from the M-Lab host networks' point of view —
+// the VP-side org whose interconnects the paper's border analysis
+// cares about.
+func bdrmapAccumulator(w *topogen.World, inf *mapit.Inference, mopts mapit.Opts) *bdrmap.BorderAccumulator {
+	seen := map[topology.ASN]bool{}
+	var org []topology.ASN
+	for _, srv := range w.MLabServers() {
+		if asn, ok := w.Topo.OriginOf(srv.Endpoint.Addr); ok && !seen[asn] {
+			seen[asn] = true
+			org = append(org, asn)
+		}
+	}
+	az := bdrmap.NewAnalyzerFromInference(inf, bdrmap.Opts{OrgASNs: org, MapIt: mopts})
+	return az.NewBorderAccumulator()
+}
+
 // reportFromCorpus is `report -corpus FILE`: the same two-pass chunked
 // assembly, but replaying a persisted stream instead of collecting —
 // no world is generated; the header's public bundle supplies the
 // MAP-IT lookups, the static metro table supplies local hours, and the
-// footer supplies the completeness ledger.
+// footer supplies the completeness ledger. Chunk decoding runs on
+// -parallel workers, and pass 2's consumers overlap on a pipeline.
 func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) (string, error) {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	// pass replays the whole stream, one chunk resident at a time:
-	// onHeader sees the parsed header before any chunk, fn sees every
-	// chunk, and the returned reader carries the footer.
+	// pass replays the whole stream, a few decoded chunks resident at a
+	// time: onHeader sees the parsed header before any chunk, fn sees
+	// every chunk, and the returned reader carries the footer.
 	pass := func(onHeader func(*export.StreamReader), fn func(*export.StreamChunk) error) (*export.StreamReader, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		sr, err := export.OpenStream(f)
+		sr, err := export.OpenStreamWorkers(f, workers)
 		if err != nil {
 			return nil, err
 		}
+		defer sr.Close()
 		if onHeader != nil {
 			onHeader(sr)
 		}
@@ -428,12 +495,18 @@ func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) 
 	}
 	b.FinishInference()
 
-	// Pass 2: matching and per-group aggregation, then the footer's
-	// campaign ledger closes the report.
-	sr, err := pass(nil, func(c *export.StreamChunk) error {
-		b.AddChunk(c.Tests, c.Traces, c.Watermark)
-		return nil
-	})
+	// Pass 2: per-test aggregation and matching overlap on their own
+	// goroutines, then the footer's campaign ledger closes the report.
+	pipe := stream.NewPipeline("pass2", pipelineDepth, reg,
+		stream.Stage[*export.StreamChunk]{Name: "aggregate",
+			Fn: func(c *export.StreamChunk) error { b.AddTests(c.Tests); return nil }},
+		stream.Stage[*export.StreamChunk]{Name: "match",
+			Fn: func(c *export.StreamChunk) error { b.AddMatch(c.Tests, c.Traces, c.Watermark); return nil }},
+	)
+	sr, err := pass(nil, pipe.Send)
+	if cErr := pipe.Close(); err == nil {
+		err = cErr
+	}
 	if err != nil {
 		return "", err
 	}

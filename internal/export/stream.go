@@ -75,6 +75,7 @@ type StreamWriter struct {
 	bw     *bufio.Writer
 	footer StreamFooter
 	closed bool
+	enc    *encodePipeline // non-nil only via NewStreamWriterWorkers
 }
 
 // NewStreamWriter writes the stream header and returns a writer ready
@@ -91,15 +92,16 @@ func NewStreamWriter(w io.Writer, public Public, meta StreamMeta) (*StreamWriter
 	return sw, nil
 }
 
+// writeLine encodes one record through a pooled buffer. Encoder.Encode
+// emits exactly Marshal's bytes plus the trailing newline, so this and
+// the worker path produce identical files.
 func (sw *StreamWriter) writeLine(v any) error {
-	line, err := json.Marshal(v)
-	if err != nil {
+	buf := getLineBuf()
+	defer putLineBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("export: encoding corpus stream: %w", err)
 	}
-	if _, err := sw.bw.Write(line); err != nil {
-		return fmt.Errorf("export: writing corpus stream: %w", err)
-	}
-	if err := sw.bw.WriteByte('\n'); err != nil {
+	if _, err := sw.bw.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("export: writing corpus stream: %w", err)
 	}
 	return nil
@@ -116,7 +118,13 @@ func (sw *StreamWriter) WriteChunk(c *platform.Chunk) error {
 		TestsWithoutTrace: c.TestsWithoutTrace,
 		Completeness:      c.Completeness,
 	}
-	if err := sw.writeLine(line); err != nil {
+	if sw.enc != nil {
+		if err := sw.enc.firstErr(); err != nil {
+			return err
+		}
+		sw.enc.in <- encJob{seq: sw.enc.next, line: line}
+		sw.enc.next++
+	} else if err := sw.writeLine(line); err != nil {
 		return err
 	}
 	sw.footer.Chunks++
@@ -134,6 +142,15 @@ func (sw *StreamWriter) Close() error {
 		return nil
 	}
 	sw.closed = true
+	if sw.enc != nil {
+		close(sw.enc.in)
+		sw.enc.wg.Wait()
+		sw.enc.ro.Close()
+		<-sw.enc.done
+		if err := sw.enc.firstErr(); err != nil {
+			return err
+		}
+	}
 	if err := sw.writeLine(sw.footer); err != nil {
 		return err
 	}
@@ -149,7 +166,8 @@ type StreamReader struct {
 	br     *bufio.Reader
 	header streamHeader
 	footer *StreamFooter
-	read   StreamFooter // accumulated totals for the footer cross-check
+	read   StreamFooter    // accumulated totals for the footer cross-check
+	dp     *decodePipeline // non-nil only via OpenStreamWorkers
 }
 
 // OpenStream reads and validates the stream header.
@@ -200,32 +218,47 @@ func (sr *StreamReader) Next() (*StreamChunk, error) {
 	if sr.footer != nil {
 		return nil, io.EOF
 	}
-	line, err := sr.readLine()
-	if err != nil {
-		if err == io.EOF {
-			return nil, fmt.Errorf("export: corpus stream truncated: no footer after %d chunks (%d tests)",
-				sr.read.Chunks, sr.read.Tests)
+	var d decoded
+	if sr.dp != nil {
+		var ok bool
+		d, ok = sr.dp.ro.Next()
+		if !ok {
+			// The pipeline drained without producing this record: only
+			// possible through Close (or a refused Put after it).
+			if err := sr.dp.ro.Err(); err != nil {
+				return nil, err
+			}
+			d = decoded{err: io.EOF, readFail: true}
 		}
-		return nil, fmt.Errorf("export: corpus stream: %w", err)
+	} else {
+		line, err := sr.readLine()
+		d = decodeRecord(rawLine{seq: sr.read.Chunks, data: line, err: err})
 	}
-	// Footer and chunk lines are distinguished by their leading key.
-	if bytes.HasPrefix(line, []byte(`{"footer"`)) {
-		var f StreamFooter
-		if err := json.Unmarshal(line, &f); err != nil {
-			return nil, fmt.Errorf("export: corpus stream: invalid footer: %w", err)
-		}
+	return sr.consume(d)
+}
+
+// consume folds one classified record into the reader's running state:
+// the in-order half of Next, shared by the serial and worker paths.
+func (sr *StreamReader) consume(d decoded) (*StreamChunk, error) {
+	switch {
+	case d.readFail && d.err == io.EOF:
+		return nil, fmt.Errorf("export: corpus stream truncated: no footer after %d chunks (%d tests)",
+			sr.read.Chunks, sr.read.Tests)
+	case d.readFail:
+		return nil, fmt.Errorf("export: corpus stream: %w", d.err)
+	case d.err != nil:
+		return nil, d.err
+	case d.footer != nil:
+		f := *d.footer
 		sr.read.Footer = true
 		if f != sr.read {
 			return nil, fmt.Errorf("export: corpus stream footer mismatch: footer says %d chunks / %d tests / %d traces, stream holds %d / %d / %d",
 				f.Chunks, f.Tests, f.Traces, sr.read.Chunks, sr.read.Tests, sr.read.Traces)
 		}
-		sr.footer = &f
+		sr.footer = d.footer
 		return nil, io.EOF
 	}
-	var c StreamChunk
-	if err := json.Unmarshal(line, &c); err != nil {
-		return nil, fmt.Errorf("export: corpus stream: chunk %d: invalid line: %w", sr.read.Chunks, err)
-	}
+	c := d.chunk
 	if c.Chunk != sr.read.Chunks {
 		return nil, fmt.Errorf("export: corpus stream: chunk index %d where %d expected", c.Chunk, sr.read.Chunks)
 	}
@@ -234,7 +267,7 @@ func (sr *StreamReader) Next() (*StreamChunk, error) {
 	sr.read.Traces += len(c.Traces)
 	sr.read.TestsWithoutTrace += c.TestsWithoutTrace
 	sr.read.Completeness.Merge(c.Completeness)
-	return &c, nil
+	return c, nil
 }
 
 // Footer returns the stream totals; non-nil only after Next returned
@@ -248,6 +281,11 @@ func readStreamAll(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	return materializeStream(sr)
+}
+
+// materializeStream drains an open reader into a Dataset.
+func materializeStream(sr *StreamReader) (*Dataset, error) {
 	d := &Dataset{Public: *sr.Public()}
 	for {
 		c, err := sr.Next()

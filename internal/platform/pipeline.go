@@ -1,0 +1,155 @@
+// Chunk-parallel streamed production: the CollectConfig.PipelineChunks
+// path of CollectStream. Instead of marching all workers through one
+// chunk at a time (a barrier per chunk), each worker claims whole
+// chunk indices from a dense atomic counter, executes its chunk
+// serially against its own re-seeded RNG, and hands the published
+// chunk to a sequence-numbered reorder buffer. The caller's goroutine
+// releases chunks strictly in index order — so the sink observes the
+// byte-identical stream the barrier path produces — while later chunks
+// are already executing. The reorder window is the backpressure bound:
+// a worker that sprints ahead of the release cursor blocks in Put, so
+// resident records never exceed (window + workers + 1) chunks.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"throughputlab/internal/faults"
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/obs"
+	"throughputlab/internal/stream"
+	"throughputlab/internal/traceroute"
+)
+
+// pipelineRun bundles the per-campaign state the pipelined execution
+// phase needs from CollectStream.
+type pipelineRun struct {
+	schedule   []arrival
+	chunkTests int
+	window     int
+	workers    int
+	workerRNGs []*rand.Rand
+
+	launches []int
+	dropped  []bool
+	inj      *faults.Injector
+
+	perShardTraces []int64
+	reg            *obs.Registry
+
+	exec func(rng *rand.Rand, id int, tests []*ndt.Test, traces []*traceroute.Trace, i int) error
+	sink func(*Chunk) error
+	st   *StreamStats
+}
+
+// collectChunksPipelined is phase 3 of CollectStream with chunk-level
+// parallelism. Determinism: a chunk's records depend only on the
+// schedule and each arrival's pre-seeded RNG, never on which worker
+// executes it or when; the reorder buffer restores index order before
+// the sink sees anything.
+func collectChunksPipelined(pr *pipelineRun) error {
+	n := len(pr.schedule)
+	nChunks := (n + pr.chunkTests - 1) / pr.chunkTests
+	workers := pr.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ro := stream.NewReorder[*Chunk](pr.window)
+	var (
+		nextChunk    int64
+		inFlight     int64
+		peakInFlight int64
+		wg           sync.WaitGroup
+	)
+	if pr.reg != nil {
+		pr.reg.Gauge("collect.stream.pipelined").Set(1)
+		pr.reg.Gauge("collect.stream.pipeline_window").Set(int64(pr.window))
+		pr.reg.Gauge("collect.stream.pipeline_workers").Set(int64(workers))
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := pr.workerRNGs[worker]
+			for {
+				ci := int(atomic.AddInt64(&nextChunk, 1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * pr.chunkTests
+				hi := lo + pr.chunkTests
+				if hi > n {
+					hi = n
+				}
+				// Track resident scheduled tests: claimed here, released
+				// after the sink has consumed the chunk. The high-water
+				// mark is the pipelined memory envelope.
+				v := atomic.AddInt64(&inFlight, int64(hi-lo))
+				for {
+					p := atomic.LoadInt64(&peakInFlight)
+					if v <= p || atomic.CompareAndSwapInt64(&peakInFlight, p, v) {
+						break
+					}
+				}
+				tests := make([]*ndt.Test, hi-lo)
+				traces := make([]*traceroute.Trace, hi-lo)
+				for i := 0; i < hi-lo; i++ {
+					if err := pr.exec(rng, lo+i, tests, traces, i); err != nil {
+						ro.Fail(err)
+						return
+					}
+				}
+				chunk := publishChunk(ci, lo, hi, pr.schedule, tests, traces,
+					pr.launches, pr.dropped, pr.inj)
+				// Per-shard trace accounting is a pure sum — atomics keep
+				// the totals identical at any completion order.
+				for i, tr := range traces {
+					if tr != nil {
+						atomic.AddInt64(&pr.perShardTraces[pr.schedule[lo+i].shard], 1)
+					}
+				}
+				if !ro.Put(ci, chunk) {
+					return // campaign failed elsewhere; stop producing
+				}
+			}
+		}(w)
+	}
+	closed := make(chan struct{})
+	go func() { wg.Wait(); ro.Close(); close(closed) }()
+
+	var sinkErr error
+	for {
+		c, ok := ro.Next()
+		if !ok {
+			break
+		}
+		scheduled := pr.chunkTests
+		if c.FirstID+scheduled > n {
+			scheduled = n - c.FirstID
+		}
+		pr.st.addChunk(c, 0) // peak accounting is the atomic high-water mark
+		if pr.reg != nil {
+			pr.reg.Counter("collect.tests").Add(uint64(len(c.Tests)))
+			pr.reg.Counter("collect.traces").Add(uint64(len(c.Traces)))
+			pr.reg.Counter("collect.chunks").Inc()
+		}
+		if err := pr.sink(c); err != nil {
+			sinkErr = fmt.Errorf("platform: corpus sink at chunk %d: %w", c.Index, err)
+			ro.Fail(sinkErr)
+			break
+		}
+		atomic.AddInt64(&inFlight, -int64(scheduled))
+	}
+	<-closed // all producers exited (Put returns false on a failed buffer)
+	pr.st.PeakInFlight = int(atomic.LoadInt64(&peakInFlight))
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return ro.Err()
+}

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"throughputlab/internal/obs"
+)
+
+// TestCollectStreamPipelinedMatchesBatch is the pipelined-production
+// determinism pin: chunk-parallel collection with a reorder window
+// publishes the byte-identical stream at workers 1/2/8 and at several
+// window depths, equal to the batch corpus.
+func TestCollectStreamPipelinedMatchesBatch(t *testing.T) {
+	base := smallCollect()
+	batch, err := Collect(world, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := corpusHash(batch)
+	for _, workers := range []int{1, 2, 8} {
+		for _, window := range []int{1, 3, 16} {
+			cfg := base
+			cfg.ChunkTests = 97
+			cfg.PipelineChunks = window
+			c, st := collectViaStream(t, cfg, workers)
+			if got := corpusHash(c); got != want {
+				t.Errorf("pipelined corpus (workers=%d window=%d) hash %#x, want batch %#x",
+					workers, window, got, want)
+			}
+			if st.Tests != len(batch.Tests) || st.TestsWithoutTrace != batch.TestsWithoutTrace {
+				t.Errorf("pipelined stats %d tests / %d missing, want %d / %d",
+					st.Tests, st.TestsWithoutTrace, len(batch.Tests), batch.TestsWithoutTrace)
+			}
+			// The envelope bound: claimed-but-unreleased chunks cannot
+			// exceed the reorder window plus the producing workers plus
+			// the chunk at the sink.
+			if limit := (window + workers + 1) * 97; st.PeakInFlight > limit {
+				t.Errorf("pipelined peak in-flight %d exceeds bound %d (workers=%d window=%d)",
+					st.PeakInFlight, limit, workers, window)
+			}
+			if st.PeakInFlight == 0 {
+				t.Error("pipelined peak in-flight not recorded")
+			}
+		}
+	}
+}
+
+// TestCollectStreamPipelinedUnderFaults extends pipelined parity to a
+// heavily faulted campaign: retry-shifted execution minutes, dropped
+// rows, truncation and trace perturbation all flow through the
+// chunk-parallel path unchanged.
+func TestCollectStreamPipelinedUnderFaults(t *testing.T) {
+	base := heavyCollect()
+	batch, err := Collect(world, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultedCorpusHash(batch)
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.ChunkTests = 128
+		cfg.PipelineChunks = 4
+		c, _ := collectViaStream(t, cfg, workers)
+		if got := faultedCorpusHash(c); got != want {
+			t.Errorf("faulted pipelined corpus (workers=%d) hash %#x, want %#x", workers, got, want)
+		}
+		if c.Completeness != batch.Completeness {
+			t.Errorf("pipelined completeness %+v, want %+v", c.Completeness, batch.Completeness)
+		}
+	}
+}
+
+// TestCollectStreamPipelinedSinkError aborts production on a sink
+// failure: the error surfaces, and no chunk after the failing one is
+// delivered.
+func TestCollectStreamPipelinedSinkError(t *testing.T) {
+	boom := errors.New("disk full")
+	cfg := smallCollect()
+	cfg.ChunkTests = 100
+	cfg.PipelineChunks = 4
+	lastIndex := -1
+	_, err := CollectStream(world, cfg, 4, func(c *Chunk) error {
+		if c.Index != lastIndex+1 {
+			t.Errorf("chunk %d delivered after %d (out of order)", c.Index, lastIndex)
+		}
+		lastIndex = c.Index
+		if c.Index == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+	if lastIndex != 2 {
+		t.Errorf("delivery continued to chunk %d after the failure at 2", lastIndex)
+	}
+}
+
+// TestCollectStreamPipelinedObs checks the pipelined path reports its
+// gauges and keeps the shared collection counters coherent.
+func TestCollectStreamPipelinedObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallCollect()
+	cfg.ChunkTests = 200
+	cfg.PipelineChunks = 3
+	cfg.Obs = reg
+	_, st := collectViaStream(t, cfg, 4)
+	if got := reg.Gauge("collect.stream.pipelined").Value(); got != 1 {
+		t.Errorf("collect.stream.pipelined = %d, want 1", got)
+	}
+	if got := reg.Gauge("collect.stream.pipeline_window").Value(); got != 3 {
+		t.Errorf("pipeline_window gauge = %d, want 3", got)
+	}
+	if got := reg.Counter("collect.chunks").Value(); got != uint64(st.Chunks) {
+		t.Errorf("collect.chunks = %d, want %d", got, st.Chunks)
+	}
+	if got := reg.Counter("collect.tests").Value(); got != uint64(st.Tests) {
+		t.Errorf("collect.tests = %d, want %d", got, st.Tests)
+	}
+	if got := reg.Gauge("collect.stream.peak_inflight").Value(); got != int64(st.PeakInFlight) {
+		t.Errorf("peak_inflight gauge = %d, want %d", got, st.PeakInFlight)
+	}
+}

@@ -136,6 +136,18 @@ type CollectConfig struct {
 	// identity — concatenating the chunks yields the identical corpus
 	// at any value.
 	ChunkTests int
+	// PipelineChunks, when > 0, switches streamed collection to
+	// chunk-parallel production: each worker executes whole chunks
+	// concurrently (claimed in dense index order) and a sequence-
+	// numbered reorder buffer of this many chunks publishes them to the
+	// sink strictly in index order. The value is the reorder window —
+	// the backpressure bound on chunks completed but not yet released —
+	// so resident records stay under (PipelineChunks + workers + 1)
+	// chunks. 0 keeps the per-chunk barrier path (all workers inside
+	// one chunk at a time). Like ChunkTests, this is NOT part of the
+	// corpus identity: the published stream is byte-identical at every
+	// (workers, PipelineChunks) setting.
+	PipelineChunks int
 	// Obs, when non-nil, receives collection phase spans, per-shard
 	// test/trace gauges, busy-collector rejection counters, and the
 	// fault layer's injected/retried/recovered/abandoned counters. It
@@ -663,75 +675,96 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 	}
 	st := &StreamStats{}
 	perShardTraces := make([]int64, shards)
-	for lo := 0; lo < len(schedule); lo += chunkTests {
-		hi := lo + chunkTests
-		if hi > len(schedule) {
-			hi = len(schedule)
+	// execArrival runs one scheduled test (and its traceroute, when the
+	// collector launched one) against the arrival's pre-seeded private
+	// RNG, writing the records into slot i. Which goroutine runs it —
+	// a per-chunk barrier worker or a whole-chunk pipeline producer —
+	// can never perturb the draws.
+	execArrival := func(rng *rand.Rand, id int, tests []*ndt.Test, traces []*traceroute.Trace, i int) error {
+		if dropped != nil && dropped[id] {
+			return nil // abandoned by the retry planner; never ran
 		}
-		tests := make([]*ndt.Test, hi-lo)
-		traces := make([]*traceroute.Trace, hi-lo)
-		errs := make([]error, hi-lo)
-		runIndexedWorkers(hi-lo, workers, func(worker, i int) {
-			id := lo + i
-			if dropped != nil && dropped[id] {
-				return // abandoned by the retry planner; never ran
+		a := schedule[id]
+		minute := a.minute
+		if execMinute != nil {
+			minute = execMinute[id]
+		}
+		h := households[a.hh]
+		server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
+		rng.Seed(a.rngSeed)
+		test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
+			server, minute, a.entropy, rng)
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			if frac, ok := inj.TruncatesTest(arrivalEntity(a)); ok {
+				test.Truncate(frac)
 			}
-			a := schedule[id]
-			minute := a.minute
-			if execMinute != nil {
-				minute = execMinute[id]
+		}
+		tests[i] = test
+		if launches[id] < 0 {
+			return nil
+		}
+		tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launches[id], rng)
+		if err != nil {
+			return err
+		}
+		inj.PerturbTrace(arrivalEntity(a), tr)
+		traces[i] = tr
+		return nil
+	}
+	if cfg.PipelineChunks > 0 {
+		err := collectChunksPipelined(&pipelineRun{
+			schedule: schedule, chunkTests: chunkTests, window: cfg.PipelineChunks,
+			workers: workers, workerRNGs: workerRNGs,
+			launches: launches, dropped: dropped, inj: inj,
+			perShardTraces: perShardTraces, reg: reg,
+			exec: execArrival, sink: sink, st: st,
+		})
+		execSpan.End()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for lo := 0; lo < len(schedule); lo += chunkTests {
+			hi := lo + chunkTests
+			if hi > len(schedule) {
+				hi = len(schedule)
 			}
-			h := households[a.hh]
-			server := a.site.Servers[int(a.entropy)%len(a.site.Servers)]
-			rng := workerRNGs[worker]
-			rng.Seed(a.rngSeed)
-			test, err := runner.Run(id, h.Endpoint, h.ISP, h.TierMbps, h.WiFiCapMbps,
-				server, minute, a.entropy, rng)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if inj != nil {
-				if frac, ok := inj.TruncatesTest(arrivalEntity(a)); ok {
-					test.Truncate(frac)
+			tests := make([]*ndt.Test, hi-lo)
+			traces := make([]*traceroute.Trace, hi-lo)
+			errs := make([]error, hi-lo)
+			runIndexedWorkers(hi-lo, workers, func(worker, i int) {
+				if err := execArrival(workerRNGs[worker], lo+i, tests, traces, i); err != nil {
+					errs[i] = err
+				}
+			})
+			for _, err := range errs {
+				if err != nil {
+					execSpan.End()
+					return nil, err
 				}
 			}
-			tests[i] = test
-			if launches[id] < 0 {
-				return
+			chunk := publishChunk(st.Chunks, lo, hi, schedule, tests, traces, launches, dropped, inj)
+			for i, tr := range traces {
+				if tr != nil {
+					perShardTraces[schedule[lo+i].shard]++
+				}
 			}
-			tr, err := tracer.Trace(server.Endpoint, h.Endpoint, a.entropy+1, launches[id], rng)
-			if err != nil {
-				errs[i] = err
-				return
+			st.addChunk(chunk, hi-lo)
+			if reg != nil {
+				reg.Counter("collect.tests").Add(uint64(len(chunk.Tests)))
+				reg.Counter("collect.traces").Add(uint64(len(chunk.Traces)))
+				reg.Counter("collect.chunks").Inc()
 			}
-			inj.PerturbTrace(arrivalEntity(a), tr)
-			traces[i] = tr
-		})
-		for _, err := range errs {
-			if err != nil {
+			if err := sink(chunk); err != nil {
 				execSpan.End()
-				return nil, err
+				return nil, fmt.Errorf("platform: corpus sink at chunk %d: %w", chunk.Index, err)
 			}
 		}
-		chunk := publishChunk(st.Chunks, lo, hi, schedule, tests, traces, launches, dropped, inj)
-		for i, tr := range traces {
-			if tr != nil {
-				perShardTraces[schedule[lo+i].shard]++
-			}
-		}
-		st.addChunk(chunk, hi-lo)
-		if reg != nil {
-			reg.Counter("collect.tests").Add(uint64(len(chunk.Tests)))
-			reg.Counter("collect.traces").Add(uint64(len(chunk.Traces)))
-			reg.Counter("collect.chunks").Inc()
-		}
-		if err := sink(chunk); err != nil {
-			execSpan.End()
-			return nil, fmt.Errorf("platform: corpus sink at chunk %d: %w", chunk.Index, err)
-		}
+		execSpan.End()
 	}
-	execSpan.End()
 
 	st.WallSeconds = time.Since(started).Seconds()
 	if st.WallSeconds > 0 {

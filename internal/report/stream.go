@@ -50,13 +50,22 @@ func MetroHourOf() func(*ndt.Test) float64 {
 	}
 }
 
-// streamGroup is the per-aggregate accumulator mirroring buildFinding.
-type streamGroup struct {
+// aggGroup is the per-test half of the group accumulator: everything
+// derived from the test stream alone, in publication order (the float
+// summation inside series is order-sensitive). Owned by the
+// aggregation stage.
+type aggGroup struct {
 	tests     int
 	series    core.Series
 	perClient map[uint32]int
 	det, ext  int
+}
 
+// pairGroup is the association half: counters and sets fed by the
+// matcher's finalized pairs, all order-independent. Owned by the
+// matching stage, so aggregation and matching can run on separate
+// goroutines without sharing a map.
+type pairGroup struct {
 	matched, oneHop, pathKnown int
 	linkSet                    map[uint32]bool
 }
@@ -72,6 +81,15 @@ type streamGroup struct {
 // Pass 2 replays the same chunks (from a persisted stream, or by
 // re-collecting the deterministic campaign). Peak memory is one chunk
 // plus the matcher's watermark buffer plus per-group aggregates.
+//
+// Pipelined assembly: pass 2 splits into two independent consumers of
+// the same chunk stream — AddTests (per-test aggregation) and
+// AddMatch (trace association) — with disjoint state, so a
+// stream.Pipeline can run them on separate goroutines. Each must see
+// the chunks in publication order; the interleaving BETWEEN them is
+// free. AddChunk is the serial composition of the two, and Finish
+// (called after both consumers drain) merges their group halves, so
+// the rendered report is byte-identical either way.
 type StreamBuilder struct {
 	cfg    Config
 	hourOf func(*ndt.Test) float64
@@ -81,7 +99,8 @@ type StreamBuilder struct {
 	inf *mapit.Inference
 
 	matcher *core.StreamMatcher
-	groups  map[gkey]*streamGroup
+	agg     map[gkey]*aggGroup
+	pairs   map[gkey]*pairGroup
 }
 
 type gkey struct{ net, metro, isp string }
@@ -96,7 +115,8 @@ func NewStreamBuilder(cfg Config, hourOf func(*ndt.Test) float64, opts mapit.Opt
 		hourOf: hourOf,
 		reg:    opts.Obs,
 		mb:     mapit.NewBuilder(opts),
-		groups: map[gkey]*streamGroup{},
+		agg:    map[gkey]*aggGroup{},
+		pairs:  map[gkey]*pairGroup{},
 	}
 }
 
@@ -125,18 +145,31 @@ func (b *StreamBuilder) FinishInference() *mapit.Inference {
 	return b.inf
 }
 
-// AddChunk folds one chunk of the corpus (pass 2). watermark is the
+// AddChunk folds one chunk of the corpus (pass 2): the serial
+// composition of the aggregation and matching stages. watermark is the
 // chunk's scheduling watermark (platform.Chunk.Watermark /
 // export.StreamChunk.Watermark).
 func (b *StreamBuilder) AddChunk(tests []*ndt.Test, traces []*traceroute.Trace, watermark int) {
+	b.AddTests(tests)
+	b.AddMatch(tests, traces, watermark)
+}
+
+// AddTests is the pass-2 aggregation stage: per-test group statistics,
+// folded in publication order so the float summation inside each
+// group's series matches the batch path exactly. It touches only the
+// aggregation half of the group state and may run concurrently with
+// AddMatch on another goroutine.
+func (b *StreamBuilder) AddTests(tests []*ndt.Test) {
 	if b.inf == nil {
-		panic("report: AddChunk before FinishInference")
+		panic("report: AddTests before FinishInference")
 	}
-	// Per-test aggregation happens here, in publication order, so the
-	// float summation order inside each group's series matches the batch
-	// path exactly.
 	for _, t := range tests {
-		g := b.group(t)
+		k := gkey{t.ServerNet, t.ServerMetro, t.ClientISP}
+		g := b.agg[k]
+		if g == nil {
+			g = &aggGroup{perClient: map[uint32]int{}}
+			b.agg[k] = g
+		}
 		g.tests++
 		h := b.hourOf(t)
 		g.series.Add(h, t)
@@ -151,22 +184,22 @@ func (b *StreamBuilder) AddChunk(tests []*ndt.Test, traces []*traceroute.Trace, 
 			}
 		}
 	}
+}
+
+// AddMatch is the pass-2 association stage: it feeds the watermark
+// matcher and accumulates pair statistics. It touches only the pair
+// half of the group state and may run concurrently with AddTests on
+// another goroutine.
+func (b *StreamBuilder) AddMatch(tests []*ndt.Test, traces []*traceroute.Trace, watermark int) {
+	if b.inf == nil {
+		panic("report: AddMatch before FinishInference")
+	}
 	b.matcher.Add(tests, traces, watermark)
 	if b.reg != nil {
 		pt, pr := b.matcher.InFlight()
 		b.reg.Gauge("report.stream.pending_tests").Set(int64(pt))
 		b.reg.Gauge("report.stream.buffered_traces").Set(int64(pr))
 	}
-}
-
-func (b *StreamBuilder) group(t *ndt.Test) *streamGroup {
-	k := gkey{t.ServerNet, t.ServerMetro, t.ClientISP}
-	g := b.groups[k]
-	if g == nil {
-		g = &streamGroup{perClient: map[uint32]int{}, linkSet: map[uint32]bool{}}
-		b.groups[k] = g
-	}
-	return g
 }
 
 // onPair receives finalized associations from the matcher. Everything
@@ -177,7 +210,12 @@ func (b *StreamBuilder) onPair(t *ndt.Test, tr *traceroute.Trace) {
 	if tr == nil {
 		return
 	}
-	g := b.group(t)
+	k := gkey{t.ServerNet, t.ServerMetro, t.ClientISP}
+	g := b.pairs[k]
+	if g == nil {
+		g = &pairGroup{linkSet: map[uint32]bool{}}
+		b.pairs[k] = g
+	}
 	g.matched++
 	p := b.inf.ASPathOf(tr)
 	if len(p) >= 2 {
@@ -191,8 +229,9 @@ func (b *StreamBuilder) onPair(t *ndt.Test, tr *traceroute.Trace) {
 	}
 }
 
-// Finish drains the matcher, grades every group, and returns the
-// report.
+// Finish drains the matcher, merges the aggregation and pair halves of
+// every group, grades them, and returns the report. With pipelined
+// assembly it must run only after both pass-2 stages have drained.
 func (b *StreamBuilder) Finish(completeness platform.Completeness) *Report {
 	if b.inf == nil {
 		b.FinishInference()
@@ -203,8 +242,11 @@ func (b *StreamBuilder) Finish(completeness platform.Completeness) *Report {
 		b.reg.Gauge("match.degraded").Set(int64(m.Degraded))
 	}
 
-	keys := make([]gkey, 0, len(b.groups))
-	for k, g := range b.groups {
+	// Every pair comes from a finalized test, so the aggregation map
+	// covers every key the pair map can hold; iterating agg loses
+	// nothing.
+	keys := make([]gkey, 0, len(b.agg))
+	for k, g := range b.agg {
 		if g.tests >= b.cfg.MinTests {
 			keys = append(keys, k)
 		}
@@ -221,14 +263,19 @@ func (b *StreamBuilder) Finish(completeness platform.Completeness) *Report {
 	})
 
 	rep := &Report{Completeness: completeness, MatchedDegraded: m.Degraded}
+	var none pairGroup
 	for _, k := range keys {
-		g := b.groups[k]
+		g := b.agg[k]
+		p := b.pairs[k]
+		if p == nil {
+			p = &none
+		}
 		f := Finding{
 			ServerNet: k.net, ServerMetro: k.metro, ClientISP: k.isp,
 			Tests:       g.tests,
-			MatchedFrac: frac(g.matched, g.tests),
-			OneHopFrac:  frac(g.oneHop, g.pathKnown),
-			IPLinks:     len(g.linkSet),
+			MatchedFrac: frac(p.matched, g.tests),
+			OneHopFrac:  frac(p.oneHop, p.pathKnown),
+			IPLinks:     len(p.linkSet),
 		}
 		f.Detector = core.Detect(&g.series, b.cfg.Detector)
 		f.Bias = core.BiasFromBins(&g.series.Throughput, g.perClient, b.cfg.Detector.MinSamples)

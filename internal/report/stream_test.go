@@ -10,6 +10,7 @@ import (
 	"throughputlab/internal/faults"
 	"throughputlab/internal/mapit"
 	"throughputlab/internal/platform"
+	"throughputlab/internal/stream"
 )
 
 // streamReport runs the two-pass streaming assembly over a campaign by
@@ -46,6 +47,51 @@ func TestStreamReportMatchesBatch(t *testing.T) {
 		got := streamReport(t, cfg, workers).Render()
 		if got != want {
 			t.Fatalf("streamed report (workers=%d) diverges from batch:\n%s",
+				workers, firstDiff(want, got))
+		}
+	}
+}
+
+// TestStreamReportPipelinedStages runs pass 2 with the aggregation and
+// matching stages on separate goroutines behind a stream.Pipeline —
+// the deployment shape of the pipelined report path — and pins that
+// the rendered report is still byte-identical to the batch build. The
+// two stages hold disjoint halves of the group state, so only their
+// per-stage publication order matters, which the pipeline preserves.
+func TestStreamReportPipelinedStages(t *testing.T) {
+	want := built.Render()
+	cfg := env.Opts.Collect
+	cfg.ChunkTests = 512
+	cfg.PipelineChunks = 3
+	for _, workers := range []int{1, 2, 8} {
+		b := NewStreamBuilder(DefaultConfig(), MetroHourOf(), env.MapItOpts())
+		if _, err := platform.CollectStream(env.World, cfg, workers, func(c *platform.Chunk) error {
+			b.AddTraces(c.Traces)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		b.FinishInference()
+		p := stream.NewPipeline("report", 4, nil,
+			stream.Stage[*platform.Chunk]{Name: "aggregate", Fn: func(c *platform.Chunk) error {
+				b.AddTests(c.Tests)
+				return nil
+			}},
+			stream.Stage[*platform.Chunk]{Name: "match", Fn: func(c *platform.Chunk) error {
+				b.AddMatch(c.Tests, c.Traces, c.Watermark)
+				return nil
+			}},
+		)
+		st, err := platform.CollectStream(env.World, cfg, workers, p.Send)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := b.Finish(st.Completeness).Render()
+		if got != want {
+			t.Fatalf("pipelined-stage report (workers=%d) diverges from batch:\n%s",
 				workers, firstDiff(want, got))
 		}
 	}
