@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -81,6 +82,23 @@ type StreamingResult struct {
 	TestsPerSec    float64 `json:"tests_per_second"`
 }
 
+// medianResult picks the result with the median per-op wall time.
+func medianResult(rs []testing.BenchmarkResult) testing.BenchmarkResult {
+	sorted := append([]testing.BenchmarkResult(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NsPerOp() < sorted[j].NsPerOp() })
+	return sorted[len(sorted)/2]
+}
+
+// TelemetryOverhead compares corpus collection with telemetry off
+// (nil registry) and fully on (registry + simulated-clock sampler +
+// event bus) on the same world and config. The corpus is byte-identical
+// either way; the ratio is the live-telemetry tax, budgeted at <= 5%.
+type TelemetryOverhead struct {
+	PlainNsPerOp          float64 `json:"plain_ns_per_op"`
+	InstrumentedNsPerOp   float64 `json:"instrumented_ns_per_op"`
+	InstrumentedOverPlain float64 `json:"instrumented_over_plain_ratio"`
+}
+
 // Baseline is the full emitted document.
 type Baseline struct {
 	Date       string             `json:"date"`
@@ -96,13 +114,19 @@ type Baseline struct {
 	// FaultOverhead is the clean-vs-heavy fault-profile collection pair
 	// (absent in -quick mode).
 	FaultOverhead *FaultOverhead `json:"fault_overhead,omitempty"`
+	// TelemetryOverhead is the plain-vs-fully-instrumented collection
+	// pair (present in -quick mode too, so CI can hold the budget).
+	TelemetryOverhead *TelemetryOverhead `json:"telemetry_overhead,omitempty"`
 	// ResolverCacheHitRates records the resolver cache efficiency over
 	// the medium-scale collection run, as percentages.
 	ResolverCacheHitRates map[string]float64 `json:"resolver_cache_hit_rates"`
-	// Observability is the obs registry snapshot of the medium-scale
-	// end-to-end run: the generation/collection phase-span tree, cache
-	// and fallback counters, and per-shard collection gauges. It gives
-	// future perf PRs per-phase attribution next to the raw numbers.
+	// Observability is the obs registry snapshot of the instrumented
+	// end-to-end run (medium scale, or small in -quick mode): the
+	// generation/collection phase-span tree, cache and fallback
+	// counters, per-shard collection gauges, the simulated-clock time
+	// series of the collect counters, and the progress-event totals. It
+	// gives future perf PRs per-phase attribution next to the raw
+	// numbers.
 	Observability *obs.Dump `json:"observability,omitempty"`
 }
 
@@ -311,6 +335,73 @@ func benchCmd(args []string) error {
 		b.FaultOverhead = fo
 	}
 
+	// Telemetry-overhead pair on the same small world: a plain run (nil
+	// registry, the disabled no-op path) against a fully telemetered one
+	// (registry + simulated-clock sampler + event bus with a discarding
+	// sink). The corpus bytes are identical; the ratio is the cost of
+	// watching, held to the <= 5% budget by CI.
+	fmt.Fprintln(os.Stderr, "bench: corpus collection telemetry overhead (plain vs instrumented)...")
+	tCfg := platform.DefaultCollect()
+	tCfg.Tests = 2000
+	tCfg.PerPoolClients = 10
+	if *quick {
+		tCfg.Tests = 500
+	}
+	benchPlain := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := platform.Collect(w, tCfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+	}
+	benchInstr := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				// Registry construction and bus drain are per-campaign
+				// setup, not the collection hot path the budget covers.
+				tb.StopTimer()
+				reg := obs.NewRegistry()
+				reg.EnableTimeSeries(0, 0, nil)
+				bus := reg.EnableEvents(4096)
+				bus.AddSink(func(obs.Event) {})
+				cfg := tCfg
+				cfg.Obs = reg
+				tb.StartTimer()
+				if _, err := platform.Collect(w, cfg); err != nil {
+					tb.Fatal(err)
+				}
+				tb.StopTimer()
+				bus.Close()
+				tb.StartTimer()
+			}
+		})
+	}
+	// One draw of each is too noisy to hold a 5% budget against on a
+	// shared box: alternate three rounds and keep the median ns/op of
+	// each side.
+	var plains, instrs []testing.BenchmarkResult
+	for i := 0; i < 3; i++ {
+		plains = append(plains, benchPlain())
+		instrs = append(instrs, benchInstr())
+	}
+	rPlain := medianResult(plains)
+	rInstr := medianResult(instrs)
+	b.Benchmarks = append(b.Benchmarks,
+		record("CorpusCollection/telemetry-off", rPlain),
+		record("CorpusCollection/telemetry-on", rInstr))
+	to := &TelemetryOverhead{
+		PlainNsPerOp:        float64(rPlain.T.Nanoseconds()) / float64(rPlain.N),
+		InstrumentedNsPerOp: float64(rInstr.T.Nanoseconds()) / float64(rInstr.N),
+	}
+	if to.PlainNsPerOp > 0 {
+		to.InstrumentedOverPlain = to.InstrumentedNsPerOp / to.PlainNsPerOp
+	}
+	b.TelemetryOverhead = to
+
 	// End-to-end wall-time measurements on fresh worlds, so cold-cache
 	// warm-up is included exactly once per scale.
 	scales := []struct {
@@ -329,14 +420,24 @@ func benchCmd(args []string) error {
 			tests int
 		}{"medium", topogen.DefaultConfig(), *mediumTests})
 	}
-	for _, scale := range scales {
+	for i, scale := range scales {
 		fmt.Fprintf(os.Stderr, "bench: end-to-end collection (%s, %d tests, %d workers)...\n",
 			scale.name, scale.tests, *workers)
-		// The medium run carries an obs registry, so the baseline embeds
-		// the phase-span tree and pipeline counters alongside wall time.
+		// The last scale (medium, or small in -quick mode) carries a
+		// fully telemetered obs registry, so every baseline — CI smoke
+		// included — embeds the phase-span tree, pipeline counters, the
+		// simulated-clock time series, and the event totals.
 		var reg *obs.Registry
-		if scale.name == "medium" {
+		var bus *obs.Bus
+		if i == len(scales)-1 {
 			reg = obs.NewRegistry()
+			// Allowlist the campaign-level collect series; the per-shard
+			// gauges would bloat the committed baseline without adding a
+			// trajectory worth tracking.
+			reg.EnableTimeSeries(0, 0, func(name string) bool {
+				return strings.HasPrefix(name, "collect.") && !strings.HasPrefix(name, "collect.shard.")
+			})
+			bus = reg.EnableEvents(4096)
 			scale.cfg.Obs = reg
 		}
 		scale.cfg.Workers = *genWorkers
@@ -389,8 +490,9 @@ func benchCmd(args []string) error {
 			Workers: *workers, Pipelined: true, PipelineWindow: pcfg.PipelineChunks,
 			WallSeconds: pst.WallSeconds, TestsPerSec: pst.TestsPerSec,
 		})
-		if scale.name == "medium" {
+		if reg != nil {
 			b.ResolverCacheHitRates = resolverRates(fw.Resolver)
+			bus.Close() // drain so the event totals are final
 			b.Observability = reg.Snapshot()
 		}
 		// The streamed legs exercised the resolver either way: in -quick

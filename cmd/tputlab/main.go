@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"throughputlab/internal/bdrmap"
@@ -120,7 +121,21 @@ flags for run/report:
   -metrics               print the phase-span tree and pipeline metrics
                          (cache hit rates, per-shard counts, fallbacks)
                          to stderr; stdout stays byte-identical
-  -metrics-json FILE     write the metrics registry dump as JSON`)
+  -metrics-json FILE     write the metrics registry dump as JSON
+  -events FILE           stream progress events (chunk publications,
+                         pipeline stages, fault retries, report passes)
+                         to FILE as NDJSON; ends with campaign.done
+  -progress              render live progress events to stderr
+  -trace-out FILE        write the phase-span tree as Chrome
+                         trace_event JSON, loadable in Perfetto
+  -telemetry-addr ADDR   serve live telemetry over HTTP while running:
+                         /metrics (Prometheus text), /spans, /series,
+                         /trace, /dump, /debug/pprof/
+  -telemetry-linger DUR  keep the telemetry endpoint up DUR after the
+                         run (e.g. 30s), for scrapes of the final state
+
+telemetry never changes results: corpus and report bytes are identical
+with every combination of the flags above on or off`)
 }
 
 // scaleOptions maps a -scale value to its environment options; unknown
@@ -165,6 +180,17 @@ type commonFlags struct {
 	faultSeed   *int64
 	metrics     *bool
 	metricsJSON *string
+
+	events        *string
+	progress      *bool
+	traceOut      *string
+	telemetryAddr *string
+	linger        *time.Duration
+
+	// Runtime telemetry state built by options(): the -events file (nil
+	// when unused) and the -telemetry-addr server (nil when unused).
+	eventsFile *os.File
+	server     *obs.TelemetryServer
 }
 
 // addCommonFlags registers the run/report flag set on fs.
@@ -180,6 +206,12 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 		faultSeed:   fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
 		metrics:     fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
 		metricsJSON: fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
+
+		events:        fs.String("events", "", "write the progress event stream to this file as NDJSON"),
+		progress:      fs.Bool("progress", false, "render live progress events to stderr"),
+		traceOut:      fs.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable)"),
+		telemetryAddr: fs.String("telemetry-addr", "", "serve /metrics, /spans, /series, /trace and /debug/pprof on this address while running"),
+		linger:        fs.Duration("telemetry-linger", 0, "keep the -telemetry-addr endpoint up this long after the run completes"),
 	}
 }
 
@@ -225,35 +257,97 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	opts.Collect.PipelineChunks = *cf.pipeline
 	opts.Workers = *cf.workers
 	var reg *obs.Registry
-	if *cf.metrics || *cf.metricsJSON != "" {
+	if *cf.metrics || *cf.metricsJSON != "" || *cf.events != "" || *cf.progress ||
+		*cf.traceOut != "" || *cf.telemetryAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Obs = reg
+		// The simulated-clock sampler rides every instrumented run: one
+		// point per simulated hour, skipping the per-shard and pipeline
+		// plumbing gauges whose cardinality would drown a dashboard.
+		reg.EnableTimeSeries(0, 0, func(name string) bool {
+			return !strings.HasPrefix(name, "collect.shard.") && !strings.HasPrefix(name, "pipeline.")
+		})
+		if *cf.events != "" || *cf.progress {
+			bus := reg.EnableEvents(4096)
+			if *cf.events != "" {
+				f, err := os.Create(*cf.events)
+				if err != nil {
+					return experiments.Options{}, nil, err
+				}
+				cf.eventsFile = f
+				bus.AddSink(obs.NewNDJSONSink(f))
+			}
+			if *cf.progress {
+				bus.AddSink(obs.NewProgressSink(os.Stderr, 0))
+			}
+		}
+		if *cf.telemetryAddr != "" {
+			srv, err := reg.ServeTelemetry(*cf.telemetryAddr)
+			if err != nil {
+				return experiments.Options{}, nil, err
+			}
+			cf.server = srv
+			fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/ (metrics, spans, series, trace, pprof)\n", srv.Addr())
+		}
 	}
 	return opts, reg, nil
 }
 
-// emitMetrics renders the registry per the flags: the human summary to
-// stderr (-metrics), the JSON dump to a file (-metrics-json). stdout is
-// never touched, so experiment output stays byte-identical.
+// emitMetrics finishes the telemetry for a successful run: it publishes
+// the terminal campaign.done event, drains and closes the event bus (so
+// the -events NDJSON stream is complete before the file is sealed),
+// renders the registry per the flags — the human summary to stderr
+// (-metrics), the JSON dump to a file (-metrics-json), the Chrome trace
+// to a file (-trace-out) — and finally lets the -telemetry-addr
+// endpoint linger for scrapes before shutting it down. stdout is never
+// touched, so experiment output stays byte-identical.
 func (cf *commonFlags) emitMetrics(reg *obs.Registry) error {
 	if reg == nil {
 		return nil
+	}
+	if bus := reg.Events(); bus != nil {
+		bus.Publish("campaign.done", "", -1, 1)
+		bus.Close()
 	}
 	if *cf.metrics {
 		fmt.Fprint(os.Stderr, reg.Summary())
 	}
 	if *cf.metricsJSON != "" {
-		f, err := os.Create(*cf.metricsJSON)
-		if err != nil {
+		if err := writeFileWith(*cf.metricsJSON, reg.WriteJSON); err != nil {
 			return err
 		}
-		if err := reg.WriteJSON(f); err != nil {
-			f.Close()
+	}
+	if *cf.traceOut != "" {
+		if err := writeFileWith(*cf.traceOut, reg.WriteTrace); err != nil {
 			return err
 		}
-		return f.Close()
+	}
+	if cf.eventsFile != nil {
+		if err := cf.eventsFile.Close(); err != nil {
+			return err
+		}
+	}
+	if cf.server != nil {
+		if *cf.linger > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s/\n", *cf.linger, cf.server.Addr())
+			time.Sleep(*cf.linger)
+		}
+		cf.server.Close()
 	}
 	return nil
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func reportCmd(args []string) error {

@@ -216,6 +216,7 @@ type Injector struct {
 	seed uint64
 	prof Profile
 	c    [numKinds]kindCounters
+	bus  *obs.Bus // progress events (nil when no bus is attached)
 }
 
 type kindCounters struct {
@@ -235,7 +236,7 @@ func NewInjector(seed int64, p Profile, reg *obs.Registry) *Injector {
 	if p.BackoffBaseMin < 1 {
 		p.BackoffBaseMin = 1
 	}
-	in := &Injector{seed: uint64(seed), prof: p}
+	in := &Injector{seed: uint64(seed), prof: p, bus: reg.Events()}
 	for k := Kind(0); k < numKinds; k++ {
 		base := "faults." + k.String() + "."
 		in.c[k] = kindCounters{
@@ -383,28 +384,29 @@ func (in *Injector) RetryDelayMin(entity uint64, attempt int) int {
 
 // Retried records one retry caused by the faults in fs.
 func (in *Injector) Retried(fs FaultSet) {
-	in.count(fs, func(c kindCounters) *obs.Counter { return c.retried })
+	in.count(fs, "fault.retry", func(c kindCounters) *obs.Counter { return c.retried })
 }
 
 // Recovered records that an entity eventually succeeded after having
 // been failed by the faults in fs.
 func (in *Injector) Recovered(fs FaultSet) {
-	in.count(fs, func(c kindCounters) *obs.Counter { return c.recovered })
+	in.count(fs, "fault.recovered", func(c kindCounters) *obs.Counter { return c.recovered })
 }
 
 // Abandoned records that an entity was permanently lost to the faults
 // in fs.
 func (in *Injector) Abandoned(fs FaultSet) {
-	in.count(fs, func(c kindCounters) *obs.Counter { return c.abandoned })
+	in.count(fs, "fault.abandoned", func(c kindCounters) *obs.Counter { return c.abandoned })
 }
 
-func (in *Injector) count(fs FaultSet, pick func(kindCounters) *obs.Counter) {
+func (in *Injector) count(fs FaultSet, event string, pick func(kindCounters) *obs.Counter) {
 	if in == nil || fs == 0 {
 		return
 	}
 	for k := Kind(0); k < numKinds; k++ {
 		if fs.Has(k) {
 			pick(in.c[k]).Inc()
+			in.bus.Publish(event, k.String(), -1, 1)
 		}
 	}
 }

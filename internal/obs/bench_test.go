@@ -54,3 +54,42 @@ func BenchmarkSpanDisabled(b *testing.B) {
 		sp.End()
 	}
 }
+
+// BenchmarkEventPublishDisabled pins the disabled event-bus path at 0
+// allocs/op: emission sites (chunk sinks, pipeline stages, fault
+// retries) publish unconditionally, so a run without -events must pay
+// one nil check and nothing else.
+func BenchmarkEventPublishDisabled(b *testing.B) {
+	var r *Registry
+	bus := r.Events()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("collect.chunk", "", i, int64(i))
+	}
+}
+
+// BenchmarkEventPublishEnabled measures the live publish path (a
+// non-blocking channel send) with a draining consumer.
+func BenchmarkEventPublishEnabled(b *testing.B) {
+	bus := NewRegistry().EnableEvents(1024)
+	bus.AddSink(func(Event) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("collect.chunk", "", i, int64(i))
+	}
+	bus.Close()
+}
+
+// BenchmarkSamplerAdvanceNoBoundary measures the per-chunk cost of
+// Advance when no step boundary is crossed — the common case on the
+// streaming sink path.
+func BenchmarkSamplerAdvanceNoBoundary(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("collect.tests").Add(1)
+	s := r.EnableTimeSeries(60, 0, nil)
+	s.Advance(60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Advance(61)
+	}
+}

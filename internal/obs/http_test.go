@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches one path from the telemetry server and returns the body.
+func get(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestTelemetryServerEndpoints spins the endpoint on a loopback port
+// and smoke-tests every route the CI job curls.
+func TestTelemetryServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("collect.tests").Add(42)
+	r.Gauge("collect.stream.chunks").Set(8)
+	r.Histogram("resolver.hops", Bounds(4, 8)).Observe(6)
+	sp := r.Span("collect")
+	sp.End()
+	s := r.EnableTimeSeries(60, 0, nil)
+	s.Advance(60)
+
+	srv, err := r.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	metrics := get(t, addr, "/metrics")
+	for _, want := range []string{
+		"# TYPE collect_tests counter", "collect_tests 42",
+		"# TYPE collect_stream_chunks gauge", "collect_stream_chunks 8",
+		"# TYPE resolver_hops histogram",
+		`resolver_hops_bucket{le="8"} 1`, `resolver_hops_bucket{le="+Inf"} 1`,
+		"resolver_hops_sum 6", "resolver_hops_count 1",
+		"span_ms_collect",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var spans []SpanDump
+	if err := json.Unmarshal([]byte(get(t, addr, "/spans")), &spans); err != nil {
+		t.Fatalf("/spans not valid JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "collect" {
+		t.Errorf("/spans = %+v", spans)
+	}
+
+	var series map[string]SeriesDump
+	if err := json.Unmarshal([]byte(get(t, addr, "/series")), &series); err != nil {
+		t.Fatalf("/series not valid JSON: %v", err)
+	}
+	if d := series["collect.tests"]; len(d.Points) != 1 || d.Points[0].Value != 42 {
+		t.Errorf("/series collect.tests = %+v", d)
+	}
+
+	var dump Dump
+	if err := json.Unmarshal([]byte(get(t, addr, "/dump")), &dump); err != nil {
+		t.Fatalf("/dump not valid JSON: %v", err)
+	}
+	if dump.Counters["collect.tests"] != 42 {
+		t.Errorf("/dump counters = %+v", dump.Counters)
+	}
+
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(t, addr, "/trace")), &trace); err != nil {
+		t.Fatalf("/trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) < 2 {
+		t.Errorf("/trace has %d events, want >= 2", len(trace.TraceEvents))
+	}
+
+	if idx := get(t, addr, "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.300s", idx)
+	}
+	if root := get(t, addr, "/"); !strings.Contains(root, "/metrics") {
+		t.Errorf("index page missing route list:\n%s", root)
+	}
+}
+
+// TestTelemetryServerNilRegistry asserts the endpoint refuses a
+// disabled registry instead of serving empty pages forever.
+func TestTelemetryServerNilRegistry(t *testing.T) {
+	var r *Registry
+	if _, err := r.ServeTelemetry("127.0.0.1:0"); err == nil {
+		t.Fatal("nil registry ServeTelemetry did not error")
+	}
+	var srv *TelemetryServer
+	if srv.Addr() != "" || srv.Close() != nil {
+		t.Error("nil server handle not inert")
+	}
+}
+
+// TestPromNameSanitizes pins the Prometheus name mapping.
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"collect.shard.00.tests": "collect_shard_00_tests",
+		"faults.test-abort.hit":  "faults_test_abort_hit",
+		"0leading":               "_leading",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

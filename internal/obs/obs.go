@@ -50,6 +50,13 @@ type Registry struct {
 	spanMu sync.Mutex
 	roots  []*Span
 	stack  []*Span // innermost-open sequential spans
+
+	// Live-telemetry attachments (nil until enabled): the
+	// simulated-clock sampler (timeseries.go) and the progress event
+	// bus (events.go). Loaded lock-free on the hot paths so an
+	// unattached registry pays one atomic load.
+	sampler atomic.Pointer[Sampler]
+	bus     atomic.Pointer[Bus]
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -245,4 +252,72 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) by linear
+// interpolation inside the bucket that contains the target rank, the
+// standard fixed-bucket estimator: a bucket's mass is spread uniformly
+// between its lower and upper bound. Observations in the +Inf overflow
+// bucket are credited to the largest finite bound (there is nothing to
+// interpolate toward), so the estimate is clamped to the configured
+// bucket range. Returns 0 on the nil handle or an empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantile(h.bounds, counts, p)
+}
+
+// quantile is the bucket-interpolation estimator shared by
+// Histogram.Quantile and the sink's HistogramDump percentiles. bounds
+// holds the finite upper bounds; counts has len(bounds)+1 entries, the
+// last being the +Inf overflow bucket.
+func quantile(bounds []float64, counts []uint64, p float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(total)
+	if target < 1 {
+		target = 1 // the quantile of a tiny sample is its first point
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(bounds) {
+				// Overflow bucket: clamp to the largest finite bound.
+				if len(bounds) == 0 {
+					return 0
+				}
+				return bounds[len(bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			return lower + (bounds[i]-lower)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
 }

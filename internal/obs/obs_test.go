@@ -302,6 +302,12 @@ func TestDisabledHandlesZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("disabled span allocates %v allocs/op, want 0", n)
 	}
+	bus := r.Events()
+	if n := testing.AllocsPerRun(100, func() {
+		bus.Publish("collect.chunk", "", 0, 1)
+	}); n != 0 {
+		t.Errorf("disabled event publish allocates %v allocs/op, want 0", n)
+	}
 }
 
 // TestEnabledUpdateZeroAlloc pins the enabled hot increment path at

@@ -20,12 +20,22 @@ type Dump struct {
 	Gauges     map[string]int64         `json:"gauges"`
 	Histograms map[string]HistogramDump `json:"histograms"`
 	Spans      []SpanDump               `json:"spans"`
+	// Series carries the simulated-clock time series when a Sampler is
+	// attached (timeseries.go); absent otherwise.
+	Series map[string]SeriesDump `json:"series,omitempty"`
+	// Events carries the progress bus counters when a Bus is attached
+	// (events.go); absent otherwise.
+	Events *EventStats `json:"events,omitempty"`
 }
 
-// HistogramDump is one exported histogram.
+// HistogramDump is one exported histogram. P50/P90/P99 are
+// bucket-interpolated quantile estimates (see Histogram.Quantile).
 type HistogramDump struct {
 	Count   uint64       `json:"count"`
 	Sum     float64      `json:"sum"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
 	Buckets []BucketDump `json:"buckets"`
 }
 
@@ -76,16 +86,29 @@ func (r *Registry) Snapshot() *Dump {
 	}
 	for name, h := range r.histograms {
 		hd := HistogramDump{Count: h.Count(), Sum: h.Sum()}
+		counts := make([]uint64, len(h.counts))
 		for i := range h.counts {
 			upper := math.Inf(1)
 			if i < len(h.bounds) {
 				upper = h.bounds[i]
 			}
-			hd.Buckets = append(hd.Buckets, BucketDump{Upper: upper, Count: h.counts[i].Load()})
+			counts[i] = h.counts[i].Load()
+			hd.Buckets = append(hd.Buckets, BucketDump{Upper: upper, Count: counts[i]})
 		}
+		hd.P50 = quantile(h.bounds, counts, 0.50)
+		hd.P90 = quantile(h.bounds, counts, 0.90)
+		hd.P99 = quantile(h.bounds, counts, 0.99)
 		d.Histograms[name] = hd
 	}
 	r.mu.Unlock()
+
+	if s := r.TimeSeries(); s != nil {
+		d.Series = s.DumpSeries()
+	}
+	if b := r.Events(); b != nil {
+		st := b.Stats()
+		d.Events = &st
+	}
 
 	r.spanMu.Lock()
 	roots := append([]*Span(nil), r.roots...)
@@ -143,7 +166,8 @@ func (r *Registry) Summary() string {
 			if h.Count > 0 {
 				mean = h.Sum / float64(h.Count)
 			}
-			fmt.Fprintf(&sb, "  %-44s count=%d mean=%.2f", name, h.Count, mean)
+			fmt.Fprintf(&sb, "  %-44s count=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f",
+				name, h.Count, mean, h.P50, h.P90, h.P99)
 			for _, b := range h.Buckets {
 				if b.Count == 0 {
 					continue
@@ -156,6 +180,12 @@ func (r *Registry) Summary() string {
 			}
 			sb.WriteByte('\n')
 		}
+	}
+	if len(d.Series) > 0 {
+		fmt.Fprintf(&sb, "series: %d metrics sampled on the simulated clock\n", len(d.Series))
+	}
+	if d.Events != nil {
+		fmt.Fprintf(&sb, "events: published=%d dropped=%d\n", d.Events.Published, d.Events.Dropped)
 	}
 	return sb.String()
 }

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSamplerAdvanceStampsStepGrid asserts the core cadence contract:
+// Advance stamps one sample at every step boundary crossed since the
+// previous call, on a fixed simulated-time grid, no matter how the
+// watermarks chunk the clock.
+func TestSamplerAdvanceStampsStepGrid(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("collect.tests")
+	s := r.EnableTimeSeries(60, 0, nil)
+	if got := r.TimeSeries(); got != s {
+		t.Fatal("TimeSeries did not return the attached sampler")
+	}
+
+	c.Add(10)
+	s.Advance(59) // before the first boundary: nothing stamped
+	if sr := s.Series("collect.tests"); sr != nil {
+		t.Fatalf("sample before first boundary: %+v", sr.Points())
+	}
+	c.Add(5)
+	s.Advance(60) // exactly on the boundary
+	c.Add(100)
+	s.Advance(61)  // same step: no new sample
+	s.Advance(350) // jumps steps 120, 180, 240, 300 in one watermark
+	c.Add(1)
+	s.Finalize(350) // between boundaries: one closing stamp
+
+	pts := s.Series("collect.tests").Points()
+	wantMinutes := []int{60, 120, 180, 240, 300, 350}
+	if len(pts) != len(wantMinutes) {
+		t.Fatalf("points = %+v, want minutes %v", pts, wantMinutes)
+	}
+	for i, m := range wantMinutes {
+		if pts[i].Minute != m {
+			t.Errorf("point %d minute = %d, want %d", i, pts[i].Minute, m)
+		}
+	}
+	// Counter samples are cumulative: 15 at minute 60, 115 from 120 on,
+	// 116 at the finalize stamp.
+	wantValues := []float64{15, 115, 115, 115, 115, 116}
+	for i, v := range wantValues {
+		if pts[i].Value != v {
+			t.Errorf("point %d value = %g, want %g", i, pts[i].Value, v)
+		}
+	}
+
+	// Regressing watermarks (possible in no case today, but cheap to
+	// pin) and a stale Finalize are ignored.
+	s.Advance(100)
+	s.Finalize(200)
+	if got := len(s.Series("collect.tests").Points()); got != len(wantMinutes) {
+		t.Errorf("regressing watermark added samples: %d points", got)
+	}
+}
+
+// TestSamplerDeltasAndWindow asserts the windowed Fig-5-style views:
+// Deltas turns a cumulative series into per-step increments and Window
+// slices by simulated time.
+func TestSamplerDeltasAndWindow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("collect.tests")
+	s := r.EnableTimeSeries(60, 0, nil)
+	for i := 1; i <= 4; i++ {
+		c.Add(uint64(10 * i)) // 10, 30, 60, 100 cumulative
+		s.Advance(60 * i)
+	}
+	sr := s.Series("collect.tests")
+	deltas := sr.Deltas()
+	want := []float64{20, 30, 40}
+	if len(deltas) != len(want) {
+		t.Fatalf("deltas = %+v, want %v", deltas, want)
+	}
+	for i, v := range want {
+		if deltas[i].Value != v || deltas[i].Minute != 60*(i+2) {
+			t.Errorf("delta %d = %+v, want {%d %g}", i, deltas[i], 60*(i+2), v)
+		}
+	}
+	win := sr.Window(120, 240)
+	if len(win) != 2 || win[0].Minute != 120 || win[1].Minute != 180 {
+		t.Errorf("window [120,240) = %+v, want minutes 120,180", win)
+	}
+}
+
+// TestSamplerRingEviction asserts the bounded-memory contract: a series
+// past its capacity drops its oldest points and counts them as evicted.
+func TestSamplerRingEviction(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("collect.stream.chunks")
+	s := r.EnableTimeSeries(60, 4, nil)
+	for i := 1; i <= 10; i++ {
+		g.Set(int64(i))
+		s.Advance(60 * i)
+	}
+	sr := s.Series("collect.stream.chunks")
+	pts := sr.Points()
+	if len(pts) != 4 {
+		t.Fatalf("retained = %d points, want 4", len(pts))
+	}
+	if pts[0].Minute != 420 || pts[3].Minute != 600 {
+		t.Errorf("retained window = [%d, %d], want [420, 600]", pts[0].Minute, pts[3].Minute)
+	}
+	if sr.Evicted() != 6 {
+		t.Errorf("evicted = %d, want 6", sr.Evicted())
+	}
+	dump := s.DumpSeries()["collect.stream.chunks"]
+	if dump.Evicted != 6 || dump.Kind != "gauge" || dump.StepMinutes != 60 || len(dump.Points) != 4 {
+		t.Errorf("series dump = %+v", dump)
+	}
+}
+
+// TestSamplerFilterAndKinds asserts the name filter and the per-kind
+// sampling semantics (counter and histogram sample cumulative counts,
+// gauges sample levels).
+func TestSamplerFilterAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("collect.tests").Add(7)
+	r.Gauge("collect.shard.00.tests").Set(3)
+	r.Histogram("resolver.hops", Bounds(4, 8)).Observe(6)
+	s := r.EnableTimeSeries(60, 0, func(name string) bool {
+		return !strings.HasPrefix(name, "collect.shard.")
+	})
+	s.Advance(60)
+	dump := s.DumpSeries()
+	if _, ok := dump["collect.shard.00.tests"]; ok {
+		t.Error("filtered name was sampled")
+	}
+	if d := dump["collect.tests"]; d.Kind != "counter" || d.Points[0].Value != 7 {
+		t.Errorf("counter series = %+v", d)
+	}
+	if d := dump["resolver.hops"]; d.Kind != "histogram" || d.Points[0].Value != 1 {
+		t.Errorf("histogram series = %+v", d)
+	}
+}
+
+// TestSamplerFirstEnableWins pins the CAS attachment contract shared
+// with the event bus.
+func TestSamplerFirstEnableWins(t *testing.T) {
+	r := NewRegistry()
+	a := r.EnableTimeSeries(60, 0, nil)
+	b := r.EnableTimeSeries(30, 0, nil)
+	if a != b {
+		t.Error("second EnableTimeSeries returned a different sampler")
+	}
+	if b.StepMinutes() != 60 {
+		t.Errorf("second enable changed the step to %d", b.StepMinutes())
+	}
+}
+
+// TestSamplerNilDisabled asserts the disabled layer: a nil registry
+// yields a nil sampler and every method on it is a safe no-op.
+func TestSamplerNilDisabled(t *testing.T) {
+	var r *Registry
+	if s := r.EnableTimeSeries(60, 0, nil); s != nil {
+		t.Fatal("nil registry returned a sampler")
+	}
+	s := r.TimeSeries()
+	s.Advance(120)
+	s.Finalize(500)
+	if s.Series("x") != nil || s.DumpSeries() != nil || s.StepMinutes() != 0 {
+		t.Error("nil sampler not inert")
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Advance(60) }); n != 0 {
+		t.Errorf("disabled Advance allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestHistogramQuantile asserts the bucket-interpolation estimator.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", Bounds(10, 20, 40))
+	// 10 observations ≤10, 10 in (10,20], none in (20,40], 5 overflow.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100)
+	}
+	// p50: rank 12.5 of 25 → 2.5 into the (10,20] bucket of mass 10.
+	if got := h.Quantile(0.5); got != 12.5 {
+		t.Errorf("p50 = %g, want 12.5", got)
+	}
+	// p20: rank 5 of 25 → halfway up the [0,10] bucket.
+	if got := h.Quantile(0.2); got != 5 {
+		t.Errorf("p20 = %g, want 5", got)
+	}
+	// p99: rank 24.75 lands in the overflow bucket → clamped to 40.
+	if got := h.Quantile(0.99); got != 40 {
+		t.Errorf("p99 = %g, want 40 (overflow clamp)", got)
+	}
+	// Out-of-range p clamps; empty and nil histograms return 0.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Error("p<0 not clamped")
+	}
+	empty := r.Histogram("empty", Bounds(1))
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+}
+
+// TestSnapshotPercentiles asserts the dump carries the p50/p90/p99
+// estimates and the Summary prints them.
+func TestSnapshotPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", Bounds(10, 100))
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	d := r.Snapshot()
+	hd := d.Histograms["lat"]
+	if hd.P50 != 5 || hd.P90 != 9 || hd.P99 != 9.9 {
+		t.Errorf("percentiles = p50=%g p90=%g p99=%g, want 5/9/9.9", hd.P50, hd.P90, hd.P99)
+	}
+	sum := r.Summary()
+	for _, want := range []string{"p50=", "p90=", "p99="} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses an emitted trace document back into its events.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []traceEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+// TestWriteTraceShape asserts the Chrome trace_event document shape:
+// a process_name metadata record, one complete ("X") event per span
+// with non-negative microsecond timestamps, and an epoch at the
+// earliest root.
+func TestWriteTraceShape(t *testing.T) {
+	r := NewRegistry()
+	gen := r.Span("generate")
+	gen.Child("generate.bgp").End()
+	gen.End()
+	col := r.Span("collect")
+	time.Sleep(time.Millisecond)
+	col.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, &buf)
+	if evs[0].Ph != "M" || evs[0].Name != "process_name" {
+		t.Fatalf("first event = %+v, want process_name metadata", evs[0])
+	}
+	byName := map[string]traceEvent{}
+	for _, e := range evs[1:] {
+		if e.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", e.Name, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur: %+v", e.Name, e)
+		}
+		byName[e.Name] = e
+	}
+	for _, want := range []string{"generate", "generate.bgp", "collect"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing span %q (have %v)", want, byName)
+		}
+	}
+	if byName["generate"].Ts != 0 {
+		t.Errorf("earliest root ts = %d, want 0 (epoch)", byName["generate"].Ts)
+	}
+	if byName["collect"].Ts < byName["generate"].Ts+byName["generate"].Dur {
+		t.Error("sequential roots overlap in the trace")
+	}
+	if byName["collect"].Dur < 1000 {
+		t.Errorf("collect dur = %dus, want >= 1000 (slept 1ms)", byName["collect"].Dur)
+	}
+}
+
+// TestWriteTraceNesting asserts lane assignment: a child contained in
+// its parent's interval shares the parent's lane (rendering as
+// nesting), while overlapping concurrent children spill to distinct
+// lanes so the viewer never sees corrupted nesting.
+func TestWriteTraceNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.Span("pipeline.pass2")
+	a := root.Child("aggregate")
+	b := root.Child("match") // overlaps a: concurrent stages
+	time.Sleep(time.Millisecond)
+	a.End()
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, &buf)[1:]
+	byName := map[string]traceEvent{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	rootEv, aEv, bEv := byName["pipeline.pass2"], byName["aggregate"], byName["match"]
+	if aEv.Tid == rootEv.Tid && bEv.Tid == rootEv.Tid {
+		t.Errorf("overlapping children share the root lane: a=%+v b=%+v", aEv, bEv)
+	}
+	if aEv.Tid == bEv.Tid {
+		t.Errorf("overlapping siblings share lane %d", aEv.Tid)
+	}
+	// The first child fits on the parent's lane (it starts inside the
+	// parent and nothing else occupies it yet).
+	if aEv.Tid != rootEv.Tid {
+		t.Errorf("first child on lane %d, parent on %d — expected shared", aEv.Tid, rootEv.Tid)
+	}
+}
+
+// TestWriteTraceNilAndLive asserts a nil registry writes an empty but
+// loadable document, and an in-progress span exports with its elapsed
+// duration so the live endpoint can serve a mid-campaign trace.
+func TestWriteTraceNilAndLive(t *testing.T) {
+	var nilReg *Registry
+	var buf bytes.Buffer
+	if err := nilReg.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if evs := decodeTrace(t, &buf); len(evs) != 1 || evs[0].Ph != "M" {
+		t.Errorf("nil registry trace = %+v, want metadata only", evs)
+	}
+
+	r := NewRegistry()
+	r.Span("running") // never ended
+	time.Sleep(time.Millisecond)
+	buf.Reset()
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, &buf)
+	if len(evs) != 2 || evs[1].Name != "running" {
+		t.Fatalf("live trace = %+v", evs)
+	}
+	if evs[1].Dur < 1000 {
+		t.Errorf("in-progress span dur = %dus, want >= 1000 (clamped to now)", evs[1].Dur)
+	}
+}

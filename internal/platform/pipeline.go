@@ -12,8 +12,10 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -61,6 +63,13 @@ func collectChunksPipelined(pr *pipelineRun) error {
 		workers = 1
 	}
 	ro := stream.NewReorder[*Chunk](pr.window)
+	bus := pr.reg.Events()
+	// A producer that sprints ahead of the release cursor blocks in
+	// Put — surface those backpressure stalls as progress events so a
+	// live viewer can tell "window too small" from "workers starved".
+	ro.OnStall(func(seq int) {
+		bus.Publish("stream.stall", "collect.reorder", -1, int64(seq))
+	})
 	var (
 		nextChunk    int64
 		inFlight     int64
@@ -76,6 +85,11 @@ func collectChunksPipelined(pr *pipelineRun) error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// Label the producer goroutine so pprof profiles scraped off
+			// the telemetry endpoint attribute samples to the pool.
+			defer pprof.SetGoroutineLabels(context.Background())
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("tputlab.pool", "collect.producer", "tputlab.worker", fmt.Sprint(worker))))
 			rng := pr.workerRNGs[worker]
 			for {
 				ci := int(atomic.AddInt64(&nextChunk, 1)) - 1
@@ -144,6 +158,10 @@ func collectChunksPipelined(pr *pipelineRun) error {
 			ro.Fail(sinkErr)
 			break
 		}
+		// Same serial-sink telemetry as the barrier path: the reorder
+		// buffer restored index order, so watermarks are monotone here.
+		bus.Publish("collect.chunk", "", c.Watermark, int64(c.Index))
+		pr.reg.TimeSeries().Advance(c.Watermark)
 		atomic.AddInt64(&inFlight, -int64(scheduled))
 	}
 	<-closed // all producers exited (Put returns false on a failed buffer)

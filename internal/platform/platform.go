@@ -762,6 +762,12 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 				execSpan.End()
 				return nil, fmt.Errorf("platform: corpus sink at chunk %d: %w", chunk.Index, err)
 			}
+			// Live telemetry rides the serial sink side: chunk watermarks
+			// arrive in schedule order here, so the sampler observes a
+			// monotone simulated clock. Both calls are nil-safe no-ops on
+			// an unattached registry.
+			reg.Events().Publish("collect.chunk", "", chunk.Watermark, int64(chunk.Index))
+			reg.TimeSeries().Advance(chunk.Watermark)
 		}
 		execSpan.End()
 	}
@@ -778,6 +784,12 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 		reg.Gauge("collect.stream.peak_inflight").Set(int64(st.PeakInFlight))
 		reg.Gauge("collect.stream.tests_per_sec").Set(int64(st.TestsPerSec))
 	}
+	finalMinute := -1
+	if len(schedule) > 0 {
+		finalMinute = schedule[len(schedule)-1].minute
+	}
+	reg.TimeSeries().Finalize(finalMinute)
+	reg.Events().Publish("collect.done", "", finalMinute, int64(st.Tests))
 	return st, nil
 }
 

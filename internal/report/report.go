@@ -179,6 +179,7 @@ func Build(e *experiments.Env, cfg Config) *Report {
 		}
 		rep.Findings = append(rep.Findings, f)
 	}
+	e.Opts.Obs.Events().Publish("report.pass", "final", -1, int64(len(rep.Findings)))
 	return rep
 }
 

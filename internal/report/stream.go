@@ -142,6 +142,7 @@ func (b *StreamBuilder) FinishInference() *mapit.Inference {
 	b.mb = nil
 	b.matcher = core.NewStreamMatcher(MatchWindowMin, MatchModeUsed)
 	b.matcher.OnPair = b.onPair
+	b.reg.Events().Publish("report.pass", "inference", -1, int64(len(b.inf.Links)))
 	return b.inf
 }
 
@@ -289,5 +290,6 @@ func (b *StreamBuilder) Finish(completeness platform.Completeness) *Report {
 		}
 		rep.Findings = append(rep.Findings, f)
 	}
+	b.reg.Events().Publish("report.pass", "final", -1, int64(len(rep.Findings)))
 	return rep
 }

@@ -9,6 +9,7 @@ import (
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/faults"
 	"throughputlab/internal/mapit"
+	"throughputlab/internal/obs"
 	"throughputlab/internal/platform"
 	"throughputlab/internal/stream"
 )
@@ -93,6 +94,57 @@ func TestStreamReportPipelinedStages(t *testing.T) {
 		if got != want {
 			t.Fatalf("pipelined-stage report (workers=%d) diverges from batch:\n%s",
 				workers, firstDiff(want, got))
+		}
+	}
+}
+
+// TestStreamReportTelemetryByteIdentical is the telemetry-invariance
+// pin at the report level: the streamed, pipelined assembly with the
+// FULL live-telemetry stack attached — metrics registry, simulated-
+// clock sampler, progress event bus with an active sink — renders a
+// report byte-identical to the uninstrumented batch build. Telemetry
+// observes the campaign; it must never steer it.
+func TestStreamReportTelemetryByteIdentical(t *testing.T) {
+	want := built.Render()
+	cfg := env.Opts.Collect
+	cfg.ChunkTests = 1024
+	cfg.PipelineChunks = 3
+	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		reg.EnableTimeSeries(60, 0, nil)
+		bus := reg.EnableEvents(4096)
+		var delivered int
+		bus.AddSink(func(obs.Event) { delivered++ })
+		cfg.Obs = reg
+		opts := env.MapItOpts()
+		opts.Obs = reg
+		b := NewStreamBuilder(DefaultConfig(), MetroHourOf(), opts)
+		if _, err := platform.CollectStream(env.World, cfg, workers, func(c *platform.Chunk) error {
+			b.AddTraces(c.Traces)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		b.FinishInference()
+		st0, err := platform.CollectStream(env.World, cfg, workers, func(c *platform.Chunk) error {
+			b.AddChunk(c.Tests, c.Traces, c.Watermark)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.Finish(st0.Completeness).Render()
+		bus.Close()
+		if got != want {
+			t.Fatalf("telemetered streamed report (workers=%d) diverges from batch:\n%s",
+				workers, firstDiff(want, got))
+		}
+		st := bus.Stats()
+		if st.ByKind["collect.chunk"] == 0 || st.ByKind["report.pass"] == 0 {
+			t.Errorf("telemetry did not observe the run (workers=%d): %+v", workers, st.ByKind)
+		}
+		if delivered == 0 {
+			t.Errorf("sink saw no events (workers=%d)", workers)
 		}
 	}
 }

@@ -16,7 +16,9 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -37,6 +39,8 @@ type Reorder[T any] struct {
 	next   int // next sequence Next will release
 	buf    map[int]T
 
+	onStall func(seq int)
+
 	closed bool
 	err    error
 }
@@ -52,6 +56,17 @@ func NewReorder[T any](window int) *Reorder[T] {
 	return r
 }
 
+// OnStall registers a callback invoked (under the buffer's lock, at
+// most once per Put) when a Put is about to block outside the release
+// window — the telemetry hook that surfaces backpressure stalls as
+// progress events. The callback must not call back into the buffer and
+// must not block; set it before producers start.
+func (r *Reorder[T]) OnStall(fn func(seq int)) {
+	r.mu.Lock()
+	r.onStall = fn
+	r.mu.Unlock()
+}
+
 // Put hands over item seq. It blocks while seq is outside the release
 // window (seq >= next+window) and returns false once the buffer has
 // been failed or closed — the producer's signal to stop working.
@@ -59,6 +74,9 @@ func NewReorder[T any](window int) *Reorder[T] {
 func (r *Reorder[T]) Put(seq int, v T) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.onStall != nil && seq >= r.next+r.window && r.err == nil && !r.closed {
+		r.onStall(seq)
+	}
 	for seq >= r.next+r.window && r.err == nil && !r.closed {
 		r.cond.Wait()
 	}
@@ -147,9 +165,16 @@ type stageState[T any] struct {
 	depth *obs.Gauge
 	items *obs.Counter
 	busy  *obs.Counter // cumulative processing time, microseconds
+	bus   *obs.Bus     // progress events (nil when no bus is attached)
 
 	err error
 }
+
+// stageEventEvery is the per-stage progress event cadence: one
+// "pipeline.stage" event per this many processed items (plus one final
+// event when the stage drains), so a million-item stream does not
+// flood the bounded bus and crowd out chunk/fault events.
+const stageEventEvery = 100
 
 // Pipeline broadcasts an ordered item stream to every stage, each on
 // its own goroutine behind a bounded queue, so consumers overlap with
@@ -185,7 +210,7 @@ func NewPipeline[T any](name string, depth int, reg *obs.Registry, stages ...Sta
 	}
 	p := &Pipeline[T]{span: reg.Span("pipeline." + name)}
 	for _, st := range stages {
-		ss := &stageState[T]{name: st.Name, fn: st.Fn, ch: make(chan T, depth)}
+		ss := &stageState[T]{name: st.Name, fn: st.Fn, ch: make(chan T, depth), bus: reg.Events()}
 		if reg != nil {
 			prefix := fmt.Sprintf("pipeline.%s.%s.", name, st.Name)
 			ss.span = p.span.Child(st.Name)
@@ -204,7 +229,17 @@ func NewPipeline[T any](name string, depth int, reg *obs.Registry, stages ...Sta
 func (p *Pipeline[T]) run(ss *stageState[T], reg *obs.Registry, name string) {
 	defer p.wg.Done()
 	defer ss.span.End()
-	var depthMax int64
+	// Label the stage goroutine so profiles scraped off the telemetry
+	// endpoint attribute CPU to pipeline stages by name.
+	defer pprof.SetGoroutineLabels(context.Background())
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("tputlab.pipeline", name, "tputlab.stage", ss.name)))
+	var depthMax, processed int64
+	defer func() {
+		if processed > 0 {
+			ss.bus.Publish("pipeline.stage", name+"."+ss.name, -1, processed)
+		}
+	}()
 	for v := range ss.ch {
 		if ss.depth != nil {
 			d := int64(len(ss.ch)) + 1
@@ -223,6 +258,10 @@ func (p *Pipeline[T]) run(ss *stageState[T], reg *obs.Registry, name string) {
 			ss.busy.Add(uint64(time.Since(start).Microseconds()))
 			ss.items.Inc()
 			ss.depth.Set(int64(len(ss.ch)))
+		}
+		processed++
+		if processed%stageEventEvery == 0 {
+			ss.bus.Publish("pipeline.stage", name+"."+ss.name, -1, processed)
 		}
 		if err != nil {
 			ss.err = fmt.Errorf("stream: stage %s: %w", ss.name, err)
