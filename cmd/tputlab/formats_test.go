@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"testing"
+
+	"throughputlab/internal/experiments"
+	"throughputlab/internal/export"
+	"throughputlab/internal/faults"
+)
+
+// formatOpts assembles a small campaign the way reportCmd would, with
+// the given fault profile.
+func formatOpts(t *testing.T, profile string) experiments.Options {
+	t.Helper()
+	opts, err := scaleOptions("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := faults.ByName(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Topo.Seed = 1
+	opts.Collect.Tests = 600
+	opts.Collect.Faults = prof
+	opts.Workers = 2
+	return opts
+}
+
+// datasetHash digests every field of a materialized corpus that
+// downstream inference consumes (the corpusHash idiom from the
+// platform shard tests, applied to an export dataset), so the two
+// on-disk formats hash equal only if they are observably identical.
+func datasetHash(d *export.Dataset) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tests=%d traces=%d missing=%d\n", len(d.Tests), len(d.Traces), d.TestsWithoutTrace)
+	for _, t := range d.Tests {
+		fmt.Fprintf(h, "t %d %d %d %d %d %.9g %.9g %.9g %.9g %d\n",
+			t.ID, uint32(t.ClientAddr), uint32(t.ServerAddr), t.StartMinute, t.FlowEntropy,
+			t.DownMbps, t.UpMbps, t.RTTms, t.RetransRate, t.TruthBottleneck)
+	}
+	for _, tr := range d.Traces {
+		fmt.Fprintf(h, "r %d %d %d %d %v", uint32(tr.SrcAddr), uint32(tr.DstAddr),
+			tr.LaunchMinute, tr.FlowEntropy, tr.Reached)
+		for _, hop := range tr.Hops {
+			fmt.Fprintf(h, " %d", uint32(hop.Addr))
+		}
+		fmt.Fprintln(h)
+	}
+	return h.Sum64()
+}
+
+// TestCorpusFormatsReportParity is the round-trip property test across
+// the two corpus formats: one campaign persisted as NDJSON and as
+// columnar yields byte-identical rendered reports — from either file,
+// at every worker count — and the materialized corpora hash equal.
+// Run once clean and once under the heavy fault profile, so the parity
+// covers truncated tests, lost traces, and the completeness ledger.
+func TestCorpusFormatsReportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds worlds")
+	}
+	for _, profile := range []string{"off", "heavy"} {
+		t.Run(profile, func(t *testing.T) {
+			dir := t.TempDir()
+			paths := map[string]string{
+				"ndjson":   dir + "/corpus.ndjson",
+				"columnar": dir + "/corpus.tpc",
+			}
+			baseline := ""
+			for _, format := range []string{"ndjson", "columnar"} {
+				out, err := reportStreamed(formatOpts(t, profile), nil, "small", paths[format], format)
+				if err != nil {
+					t.Fatalf("reportStreamed %s: %v", format, err)
+				}
+				if baseline == "" {
+					baseline = out
+				} else if out != baseline {
+					t.Fatalf("streamed report differs when persisting %s", format)
+				}
+			}
+			var hashes []uint64
+			for format, path := range paths {
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := export.Read(f)
+				f.Close()
+				if err != nil {
+					t.Fatalf("materializing %s corpus: %v", format, err)
+				}
+				hashes = append(hashes, datasetHash(d))
+				for _, workers := range []int{1, 2, 8} {
+					opts := formatOpts(t, profile)
+					opts.Workers = workers
+					out, err := reportFromCorpus(path, "", opts, nil)
+					if err != nil {
+						t.Fatalf("reportFromCorpus %s workers=%d: %v", format, workers, err)
+					}
+					if out != baseline {
+						t.Errorf("report from %s corpus at workers=%d differs from streamed baseline", format, workers)
+					}
+				}
+				// The explicit -corpus-format path must agree with
+				// auto-detection.
+				out, err := reportFromCorpus(path, format, formatOpts(t, profile), nil)
+				if err != nil {
+					t.Fatalf("reportFromCorpus -corpus-format %s: %v", format, err)
+				}
+				if out != baseline {
+					t.Errorf("report with explicit format %s differs", format)
+				}
+			}
+			if hashes[0] != hashes[1] {
+				t.Errorf("corpus hashes differ between formats: %x != %x", hashes[0], hashes[1])
+			}
+		})
+	}
+}
+
+// TestCorpusFormatMismatchError pins the CLI-level satellite: reporting
+// over a columnar file while forcing -corpus-format ndjson fails with
+// an error naming the detected format, not a parse error.
+func TestCorpusFormatMismatchError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	path := t.TempDir() + "/corpus.tpc"
+	if _, err := reportStreamed(formatOpts(t, "off"), nil, "small", path, "columnar"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := reportFromCorpus(path, "ndjson", formatOpts(t, "off"), nil)
+	if err == nil {
+		t.Fatal("forcing ndjson on a columnar corpus should error")
+	}
+	if got := err.Error(); !strings.Contains(got, "columnar") || !strings.Contains(got, "NDJSON") {
+		t.Errorf("mismatch error does not name both formats: %v", err)
+	}
+}

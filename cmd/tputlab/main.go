@@ -88,9 +88,16 @@ flags for run/report:
                          large (~50k ASes) or xlarge (~75k ASes, one
                          million scheduled tests); default "default"
   -json                  (run) emit the result struct as JSON
-  -corpus-out FILE       persist the corpus to FILE as a chunked NDJSON
-                         stream while it is collected (bounded memory;
+  -corpus-out FILE       persist the corpus to FILE as a chunked stream
+                         while it is collected (bounded memory;
                          readable later by 'report -corpus')
+  -corpus-format FORMAT  corpus file format: ndjson (the jq-able
+                         tputlab-corpus/1 text stream, the default for
+                         -corpus-out) or columnar (the tputlab-corpus/2
+                         binary format, ~3x faster to reload and
+                         smaller on disk); on 'report -corpus' the
+                         format is auto-detected, and naming one
+                         instead requires it
   -stream                (report) assemble the report through the
                          bounded-memory chunked pipeline instead of
                          materializing the corpus; output is
@@ -170,16 +177,17 @@ func scaleOptions(scale string) (experiments.Options, error) {
 // commonFlags is the flag/Options-building block shared by runCmd and
 // reportCmd (it was duplicated verbatim between them before).
 type commonFlags struct {
-	scale       *string
-	seed        *int64
-	tests       *int
-	workers     *int
-	pipeline    *int
-	genWorkers  *int
-	faults      *string
-	faultSeed   *int64
-	metrics     *bool
-	metricsJSON *string
+	scale        *string
+	seed         *int64
+	tests        *int
+	workers      *int
+	pipeline     *int
+	genWorkers   *int
+	corpusFormat *string
+	faults       *string
+	faultSeed    *int64
+	metrics      *bool
+	metricsJSON  *string
 
 	events        *string
 	progress      *bool
@@ -196,16 +204,17 @@ type commonFlags struct {
 // addCommonFlags registers the run/report flag set on fs.
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	return &commonFlags{
-		scale:       fs.String("scale", "default", "small, default, medium, large or xlarge"),
-		seed:        fs.Int64("seed", 1, "generation seed"),
-		tests:       fs.Int("tests", 0, "NDT corpus size override"),
-		workers:     fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
-		pipeline:    fs.Int("pipeline", 0, "streamed chunk-pipeline reorder window, 0 = per-chunk barrier"),
-		genWorkers:  fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count"),
-		faults:      fs.String("faults", "off", "fault-injection profile: off, light, moderate or heavy"),
-		faultSeed:   fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
-		metrics:     fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
-		metricsJSON: fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
+		scale:        fs.String("scale", "default", "small, default, medium, large or xlarge"),
+		seed:         fs.Int64("seed", 1, "generation seed"),
+		tests:        fs.Int("tests", 0, "NDT corpus size override"),
+		workers:      fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker count"),
+		pipeline:     fs.Int("pipeline", 0, "streamed chunk-pipeline reorder window, 0 = per-chunk barrier"),
+		genWorkers:   fs.Int("genworkers", runtime.GOMAXPROCS(0), "world-generation worker count"),
+		corpusFormat: fs.String("corpus-format", "", "corpus file format: ndjson or columnar (write default ndjson; read default auto-detect)"),
+		faults:       fs.String("faults", "off", "fault-injection profile: off, light, moderate or heavy"),
+		faultSeed:    fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
+		metrics:      fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
+		metricsJSON:  fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
 
 		events:        fs.String("events", "", "write the progress event stream to this file as NDJSON"),
 		progress:      fs.Bool("progress", false, "render live progress events to stderr"),
@@ -242,6 +251,11 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	}
 	if *cf.pipeline < 0 {
 		return experiments.Options{}, nil, fmt.Errorf("-pipeline must be >= 0 (got %d)", *cf.pipeline)
+	}
+	switch *cf.corpusFormat {
+	case "", "auto", "ndjson", "columnar":
+	default:
+		return experiments.Options{}, nil, fmt.Errorf("invalid -corpus-format %q (valid: ndjson, columnar)", *cf.corpusFormat)
 	}
 	prof, err := faults.ByName(*cf.faults)
 	if err != nil {
@@ -369,13 +383,13 @@ func reportCmd(args []string) error {
 		if *corpusOut != "" {
 			return fmt.Errorf("-corpus and -corpus-out are mutually exclusive (the stream already exists)")
 		}
-		out, err = reportFromCorpus(*corpusIn, opts, reg)
+		out, err = reportFromCorpus(*corpusIn, *cf.corpusFormat, opts, reg)
 	case *streamed:
-		out, err = reportStreamed(opts, reg, *cf.scale, *corpusOut)
+		out, err = reportStreamed(opts, reg, *cf.scale, *corpusOut, *cf.corpusFormat)
 	default:
 		var sealCorpus func() error
 		if *corpusOut != "" {
-			sealCorpus = teeCorpus(*corpusOut, &opts, *cf.scale)
+			sealCorpus = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale)
 		}
 		var env *experiments.Env
 		env, err = experiments.NewEnv(opts)
@@ -397,12 +411,16 @@ func reportCmd(args []string) error {
 
 // teeCorpus wires -corpus-out into an experiment environment: it
 // installs opts.CorpusSink so the campaign is persisted chunk by chunk
-// as it is collected, and returns the closer that seals the stream
+// as it is collected — in the NDJSON stream or binary columnar format
+// per -corpus-format — and returns the closer that seals the file's
 // footer (call it once NewEnv succeeds; a file without a footer reads
 // as truncated, which is the right outcome for a failed campaign).
-func teeCorpus(path string, opts *experiments.Options, scale string) func() error {
+func teeCorpus(path, format string, opts *experiments.Options, scale string) func() error {
+	if format == "" || format == "auto" {
+		format = "ndjson"
+	}
 	var f *os.File
-	var sw *export.StreamWriter
+	var sw export.CorpusWriter
 	seed, tests, workers := opts.Topo.Seed, opts.Collect.Tests, opts.Workers
 	opts.CorpusSink = func(w *topogen.World) (func(*platform.Chunk) error, error) {
 		var err error
@@ -410,7 +428,7 @@ func teeCorpus(path string, opts *experiments.Options, scale string) func() erro
 		if err != nil {
 			return nil, err
 		}
-		sw, err = export.NewStreamWriterWorkers(f, export.FromWorld(w, nil).Public,
+		sw, err = export.NewCorpusWriter(f, format, export.FromWorld(w, nil).Public,
 			export.StreamMeta{Scale: scale, Seed: seed, Tests: tests}, workers)
 		if err != nil {
 			f.Close()
@@ -441,7 +459,7 @@ func teeCorpus(path string, opts *experiments.Options, scale string) func() erro
 // accumulator overlapping. Peak memory is a few chunks plus the
 // matcher's watermark window; the rendered report is byte-identical to
 // the batch path at every -parallel/-pipeline value.
-func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOut string) (string, error) {
+func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOut, corpusFormat string) (string, error) {
 	opts.Topo.Obs = reg
 	opts.Collect.Obs = reg
 	w, err := topogen.Generate(opts.Topo)
@@ -464,7 +482,7 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 	var seal func() error
 	if corpusOut != "" {
 		eo := opts
-		seal = teeCorpus(corpusOut, &eo, scale)
+		seal = teeCorpus(corpusOut, corpusFormat, &eo, scale)
 		tee, err := eo.CorpusSink(w)
 		if err != nil {
 			return "", err
@@ -532,37 +550,50 @@ func bdrmapAccumulator(w *topogen.World, inf *mapit.Inference, mopts mapit.Opts)
 }
 
 // reportFromCorpus is `report -corpus FILE`: the same two-pass chunked
-// assembly, but replaying a persisted stream instead of collecting —
+// assembly, but replaying a persisted corpus instead of collecting —
 // no world is generated; the header's public bundle supplies the
 // MAP-IT lookups, the static metro table supplies local hours, and the
-// footer supplies the completeness ledger. Chunk decoding runs on
-// -parallel workers, and pass 2's consumers overlap on a pipeline.
-func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) (string, error) {
+// footer supplies the completeness ledger. The file format is
+// auto-detected (NDJSON stream or binary columnar corpus) unless
+// corpusFormat names one, in which case that format is required. Chunk
+// decoding runs on -parallel workers, and pass 2's consumers overlap
+// on a pipeline. Pass 1 only needs traces, so on a columnar corpus it
+// opens with a traces-only projection and never parses a test stripe —
+// the bulk of the reload win.
+func reportFromCorpus(path, corpusFormat string, opts experiments.Options, reg *obs.Registry) (string, error) {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	// pass replays the whole stream, a few decoded chunks resident at a
+	// pass replays the whole corpus, a few decoded chunks resident at a
 	// time: onHeader sees the parsed header before any chunk, fn sees
 	// every chunk, and the returned reader carries the footer.
-	pass := func(onHeader func(*export.StreamReader), fn func(*export.StreamChunk) error) (*export.StreamReader, error) {
+	pass := func(proj export.Projection, onHeader func(export.CorpusReader), fn func(*export.StreamChunk) error) (export.CorpusReader, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		sr, err := export.OpenStreamWorkers(f, workers)
+		var cr export.CorpusReader
+		switch corpusFormat {
+		case "ndjson":
+			cr, err = export.OpenStreamWorkers(f, workers)
+		case "columnar":
+			cr, err = export.OpenColumnarProjected(f, workers, proj)
+		default: // "" / "auto"
+			cr, err = export.OpenCorpusProjected(f, workers, proj)
+		}
 		if err != nil {
 			return nil, err
 		}
-		defer sr.Close()
+		defer cr.Close()
 		if onHeader != nil {
-			onHeader(sr)
+			onHeader(cr)
 		}
 		for {
-			c, err := sr.Next()
+			c, err := cr.Next()
 			if err == io.EOF {
-				return sr, nil
+				return cr, nil
 			}
 			if err != nil {
 				return nil, err
@@ -574,10 +605,10 @@ func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) 
 	}
 
 	// Pass 1: operator inference, with the builder armed from the
-	// header's public bundle (the stream's replacement for the world).
+	// header's public bundle (the corpus's replacement for the world).
 	var b *report.StreamBuilder
-	if _, err := pass(func(sr *export.StreamReader) {
-		mopts := (&export.Dataset{Public: *sr.Public()}).Lookups().MapItOpts()
+	if _, err := pass(export.Projection{Traces: true}, func(cr export.CorpusReader) {
+		mopts := (&export.Dataset{Public: *cr.Public()}).Lookups().MapItOpts()
 		mopts.Workers = workers
 		mopts.Obs = reg
 		b = report.NewStreamBuilder(report.DefaultConfig(), report.MetroHourOf(), mopts)
@@ -597,7 +628,7 @@ func reportFromCorpus(path string, opts experiments.Options, reg *obs.Registry) 
 		stream.Stage[*export.StreamChunk]{Name: "match",
 			Fn: func(c *export.StreamChunk) error { b.AddMatch(c.Tests, c.Traces, c.Watermark); return nil }},
 	)
-	sr, err := pass(nil, pipe.Send)
+	sr, err := pass(export.EverythingProjection(), nil, pipe.Send)
 	if cErr := pipe.Close(); err == nil {
 		err = cErr
 	}
@@ -628,7 +659,7 @@ func runCmd(args []string) error {
 	}
 	var sealCorpus func() error
 	if *corpusOut != "" {
-		sealCorpus = teeCorpus(*corpusOut, &opts, *cf.scale)
+		sealCorpus = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale)
 	}
 
 	start := time.Now()

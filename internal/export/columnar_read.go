@@ -1,0 +1,972 @@
+// Columnar corpus decode: the read side of tputlab-corpus/2. Chunks
+// decode into per-chunk slabs — one backing array per column family
+// (tests, traces, hops, truth lists) instead of one allocation per
+// row — and the column stripes write straight into the final structs,
+// so nothing row-shaped is materialized in between. A Projection lets
+// a pass that only needs one side of the corpus (report pass 1 reads
+// traces only) skip the other side's stripes entirely: the bytes are
+// never parsed and the slabs never allocated.
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"throughputlab/internal/ndt"
+	"throughputlab/internal/netaddr"
+	"throughputlab/internal/netsim"
+	"throughputlab/internal/platform"
+	"throughputlab/internal/stream"
+	"throughputlab/internal/topology"
+	"throughputlab/internal/traceroute"
+)
+
+// Projection selects which column families a columnar reader decodes.
+// The zero value decodes nothing useful; use EverythingProjection (or
+// OpenColumnar, which defaults to it) for a full read.
+type Projection struct {
+	Tests  bool
+	Traces bool
+}
+
+// EverythingProjection decodes both column families.
+func EverythingProjection() Projection { return Projection{Tests: true, Traces: true} }
+
+// colPreamble is the decoded chunk-frame preamble: everything the
+// reader needs for ordering and footer cross-checks, independent of
+// which stripes the projection decodes.
+type colPreamble struct {
+	chunk             int
+	watermark         int
+	testsWithoutTrace int
+	completeness      platform.Completeness
+	tests             int
+	traces            int
+	stripes           int
+}
+
+// decodeChunkPayload decodes one chunk frame payload into a
+// StreamChunk, honoring the projection. Row counts are bounded against
+// the payload size before any slab is allocated, so a hostile frame
+// cannot force an allocation amplification past a small constant.
+func decodeChunkPayload(payload []byte, proj Projection) (*StreamChunk, colPreamble, error) {
+	r := &colReader{b: payload}
+	pre, err := readPreamble(r)
+	if err != nil {
+		return nil, pre, err
+	}
+	if pre.tests > len(payload)/8+1 {
+		return nil, pre, fmt.Errorf("chunk declares %d tests in a %d-byte payload", pre.tests, len(payload))
+	}
+	if pre.traces > len(payload)/4+1 {
+		return nil, pre, fmt.Errorf("chunk declares %d traces in a %d-byte payload", pre.traces, len(payload))
+	}
+	if pre.stripes > len(payload)+1 {
+		return nil, pre, fmt.Errorf("chunk declares %d stripes in a %d-byte payload", pre.stripes, len(payload))
+	}
+
+	c := &StreamChunk{
+		Chunk:             pre.chunk,
+		Watermark:         pre.watermark,
+		TestsWithoutTrace: pre.testsWithoutTrace,
+		Completeness:      pre.completeness,
+	}
+	d := &chunkDecoder{r: r, pre: pre, proj: proj}
+	if proj.Tests {
+		d.tests = make([]ndt.Test, pre.tests)
+		c.Tests = make([]*ndt.Test, pre.tests)
+		for i := range d.tests {
+			c.Tests[i] = &d.tests[i]
+		}
+	}
+	if proj.Traces {
+		d.traces = make([]traceroute.Trace, pre.traces)
+		c.Traces = make([]*traceroute.Trace, pre.traces)
+		for i := range d.traces {
+			c.Traces[i] = &d.traces[i]
+		}
+	}
+	for s := 0; s < pre.stripes; s++ {
+		st, err := readStripe(r)
+		if err != nil {
+			return nil, pre, err
+		}
+		if err := d.apply(st); err != nil {
+			return nil, pre, fmt.Errorf("stripe %d (%s): %w", st.field, encName(st.enc), err)
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, pre, fmt.Errorf("%d trailing bytes after last stripe", r.remaining())
+	}
+	if err := d.checkComplete(); err != nil {
+		return nil, pre, err
+	}
+	return c, pre, nil
+}
+
+// readPreamble reads the 11-value preamble (chunk metadata, row
+// counts, stripe count), with the checksum covering all of it.
+func readPreamble(r *colReader) (colPreamble, error) {
+	var p colPreamble
+	start := r.off
+	vals := [11]uint64{}
+	for i := range vals {
+		v, err := r.uvarint()
+		if err != nil {
+			return p, fmt.Errorf("preamble: %w", err)
+		}
+		vals[i] = v
+	}
+	end := r.off
+	sum, err := r.take(4)
+	if err != nil {
+		return p, fmt.Errorf("preamble checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(r.b[start:end], castagnoli), binary.LittleEndian.Uint32(sum); got != want {
+		return p, fmt.Errorf("preamble checksum mismatch (%08x != %08x)", got, want)
+	}
+	p.chunk = int(vals[0])
+	p.watermark = int(vals[1])
+	p.testsWithoutTrace = int(vals[2])
+	p.completeness = platform.Completeness{
+		ScheduledTests: int(vals[3]), AbandonedTests: int(vals[4]),
+		DroppedRows: int(vals[5]), TruncatedTests: int(vals[6]), DegradedTraces: int(vals[7]),
+	}
+	p.tests = int(vals[8])
+	p.traces = int(vals[9])
+	p.stripes = int(vals[10])
+	if p.chunk < 0 || p.watermark < 0 || p.tests < 0 || p.traces < 0 || p.stripes < 0 {
+		return p, fmt.Errorf("preamble value overflows int")
+	}
+	return p, nil
+}
+
+// chunkDecoder dispatches stripes into the chunk's slabs.
+type chunkDecoder struct {
+	r    *colReader
+	pre  colPreamble
+	proj Projection
+
+	tests  []ndt.Test
+	traces []traceroute.Trace
+	hops   []traceroute.Hop
+
+	seenTests  uint64
+	seenTraces uint64
+	hopsSized  bool
+	interSized bool
+	pathSized  bool
+	interVals  []topology.LinkID
+	pathVals   []topology.ASN
+}
+
+// apply decodes one stripe into its column, or skips it when the
+// projection excludes its family (the checksum was still verified by
+// readStripe, so a pruned read still detects corruption).
+func (d *chunkDecoder) apply(st stripeHeader) error {
+	if st.field < fTraceSrcAddr {
+		if !d.proj.Tests {
+			return nil
+		}
+		return d.applyTest(st)
+	}
+	if !d.proj.Traces {
+		return nil
+	}
+	return d.applyTrace(st)
+}
+
+// mark records a stripe as seen, rejecting duplicates (a duplicated
+// stripe would silently overwrite a column otherwise).
+func mark(seen *uint64, bit uint) error {
+	if *seen&(1<<bit) != 0 {
+		return fmt.Errorf("duplicate stripe")
+	}
+	*seen |= 1 << bit
+	return nil
+}
+
+func (d *chunkDecoder) applyTest(st stripeHeader) error {
+	if st.field > uint64(numTestFields) {
+		return nil // unknown test column from a newer writer: skip
+	}
+	if err := mark(&d.seenTests, uint(st.field)); err != nil {
+		return err
+	}
+	n := len(d.tests)
+	r := &colReader{b: st.body}
+	var err error
+	switch st.field {
+	case fTestID:
+		err = r.deltas(n, func(i int, v int64) { d.tests[i].ID = int(v) })
+	case fTestClientAddr:
+		err = r.uint32s(n, func(i int, v uint32) { d.tests[i].ClientAddr = netaddr.Addr(v) })
+	case fTestClientASN:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].ClientASN = topology.ASN(v) })
+	case fTestClientISP:
+		err = r.stringDict(n, func(i int, s string) { d.tests[i].ClientISP = s })
+	case fTestClientMetro:
+		err = r.stringDict(n, func(i int, s string) { d.tests[i].ClientMetro = s })
+	case fTestTierMbps:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].TierMbps = v })
+	case fTestWiFiCapMbps:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].WiFiCapMbps = v })
+	case fTestServerAddr:
+		err = r.intDict(n, func(i int, v uint64) { d.tests[i].ServerAddr = netaddr.Addr(v) })
+	case fTestServerASN:
+		err = r.intDict(n, func(i int, v uint64) { d.tests[i].ServerASN = topology.ASN(v) })
+	case fTestServerSite:
+		err = r.stringDict(n, func(i int, s string) { d.tests[i].ServerSite = s })
+	case fTestServerNet:
+		err = r.stringDict(n, func(i int, s string) { d.tests[i].ServerNet = s })
+	case fTestServerMetro:
+		err = r.stringDict(n, func(i int, s string) { d.tests[i].ServerMetro = s })
+	case fTestStartMinute:
+		err = r.deltas(n, func(i int, v int64) { d.tests[i].StartMinute = int(v) })
+	case fTestFlowEntropy:
+		err = r.uint32s(n, func(i int, v uint32) { d.tests[i].FlowEntropy = v })
+	case fTestDownMbps:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].DownMbps = v })
+	case fTestUpMbps:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].UpMbps = v })
+	case fTestRTTms:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].RTTms = v })
+	case fTestRTTMinMs:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].RTTMinMs = v })
+	case fTestRetransRate:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].RetransRate = v })
+	case fTestW100DurationSec:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].Web100.DurationSec = v })
+	case fTestW100OctetsAcked:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].Web100.HCThruOctetsAcked = int64(v) })
+	case fTestW100SegsOut:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].Web100.SegsOut = int64(v) })
+	case fTestW100SegsRetrans:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].Web100.SegsRetrans = int64(v) })
+	case fTestW100CongSignals:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].Web100.CongSignals = int(v) })
+	case fTestW100MinRTTms:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].Web100.MinRTTms = v })
+	case fTestW100SmoothedRTTms:
+		err = r.floats(n, func(i int, v float64) { d.tests[i].Web100.SmoothedRTTms = v })
+	case fTestW100CurCwndBytes:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].Web100.CurCwndBytes = int(v) })
+	case fTestW100CwndFrac:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].Web100.SndLimTimeCwndFrac = v })
+	case fTestW100RwinFrac:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].Web100.SndLimTimeRwinFrac = v })
+	case fTestW100SenderFrac:
+		err = floatCol(r, st.enc, n, func(i int, v float64) { d.tests[i].Web100.SndLimTimeSenderFrac = v })
+	case fTestTruncated:
+		err = r.bitmap(n, func(i int, v bool) { d.tests[i].Truncated = v })
+	case fTestTruthKind:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].TruthKind = netsim.BottleneckKind(v) })
+	case fTestTruthSaturated:
+		err = r.bitmap(n, func(i int, v bool) { d.tests[i].TruthSaturated = v })
+	case fTestTruthBottleneck:
+		err = r.uvarints(n, func(i int, v uint64) { d.tests[i].TruthBottleneck = topology.LinkID(v) })
+	case fTestTruthInterLens:
+		var total uint64
+		lens := make([]uint64, n)
+		if err = r.uvarints(n, func(i int, v uint64) { lens[i] = v; total += v }); err != nil {
+			break
+		}
+		if total > uint64(len(d.r.b)) {
+			err = fmt.Errorf("list lengths total %d exceeds payload", total)
+			break
+		}
+		d.interVals = make([]topology.LinkID, total)
+		off := 0
+		for i, l := range lens {
+			if l > 0 {
+				d.tests[i].TruthInterLinks = d.interVals[off : off+int(l) : off+int(l)]
+				off += int(l)
+			}
+		}
+		d.interSized = true
+	case fTestTruthInterVals:
+		if !d.interSized {
+			err = fmt.Errorf("list values before lengths stripe")
+			break
+		}
+		err = r.uvarints(len(d.interVals), func(i int, v uint64) { d.interVals[i] = topology.LinkID(v) })
+	case fTestTruthASPathLens:
+		var total uint64
+		lens := make([]uint64, n)
+		if err = r.uvarints(n, func(i int, v uint64) { lens[i] = v; total += v }); err != nil {
+			break
+		}
+		if total > uint64(len(d.r.b)) {
+			err = fmt.Errorf("list lengths total %d exceeds payload", total)
+			break
+		}
+		d.pathVals = make([]topology.ASN, total)
+		off := 0
+		for i, l := range lens {
+			if l > 0 {
+				d.tests[i].TruthASPath = d.pathVals[off : off+int(l) : off+int(l)]
+				off += int(l)
+			}
+		}
+		d.pathSized = true
+	case fTestTruthASPathVals:
+		if !d.pathSized {
+			err = fmt.Errorf("list values before lengths stripe")
+			break
+		}
+		err = r.uvarints(len(d.pathVals), func(i int, v uint64) { d.pathVals[i] = topology.ASN(v) })
+	}
+	if err != nil {
+		return err
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes in stripe", r.remaining())
+	}
+	return nil
+}
+
+// floatCol decodes a float column that the writer encoded adaptively
+// (raw image or float dictionary, per the stripe's encoding byte).
+func floatCol(r *colReader, enc byte, n int, fn func(i int, v float64)) error {
+	switch enc {
+	case encRaw:
+		return r.floats(n, fn)
+	case encDict:
+		return r.floatDict(n, fn)
+	}
+	return fmt.Errorf("unexpected encoding for float column")
+}
+
+func (d *chunkDecoder) applyTrace(st stripeHeader) error {
+	if st.field >= fTraceSrcAddr+uint64(numTraceFields) {
+		return nil // unknown trace column from a newer writer: skip
+	}
+	if err := mark(&d.seenTraces, uint(st.field-fTraceSrcAddr)); err != nil {
+		return err
+	}
+	n := len(d.traces)
+	r := &colReader{b: st.body}
+	var err error
+	switch st.field {
+	case fTraceSrcAddr:
+		err = r.uint32s(n, func(i int, v uint32) { d.traces[i].SrcAddr = netaddr.Addr(v) })
+	case fTraceDstAddr:
+		err = r.uint32s(n, func(i int, v uint32) { d.traces[i].DstAddr = netaddr.Addr(v) })
+	case fTraceLaunchMinute:
+		err = r.deltas(n, func(i int, v int64) { d.traces[i].LaunchMinute = int(v) })
+	case fTraceFlowEntropy:
+		err = r.uint32s(n, func(i int, v uint32) { d.traces[i].FlowEntropy = v })
+	case fTraceReached:
+		err = r.bitmap(n, func(i int, v bool) { d.traces[i].Reached = v })
+	case fTraceDegraded:
+		err = r.bitmap(n, func(i int, v bool) { d.traces[i].Degraded = v })
+	case fTraceHopLens:
+		var total uint64
+		lens := make([]uint64, n)
+		if err = r.uvarints(n, func(i int, v uint64) { lens[i] = v; total += v }); err != nil {
+			break
+		}
+		if total > uint64(len(d.r.b))/4+1 {
+			err = fmt.Errorf("hop total %d exceeds payload budget", total)
+			break
+		}
+		d.hops = make([]traceroute.Hop, total)
+		off := 0
+		for i, l := range lens {
+			if l > 0 {
+				d.traces[i].Hops = d.hops[off : off+int(l) : off+int(l)]
+				off += int(l)
+			}
+		}
+		d.hopsSized = true
+	case fTraceHopTTL:
+		if !d.hopsSized {
+			err = fmt.Errorf("hop stripe before hop lengths")
+			break
+		}
+		err = r.uvarints(len(d.hops), func(i int, v uint64) { d.hops[i].TTL = int(v) })
+	case fTraceHopAddr:
+		if !d.hopsSized {
+			err = fmt.Errorf("hop stripe before hop lengths")
+			break
+		}
+		err = r.uint32s(len(d.hops), func(i int, v uint32) { d.hops[i].Addr = netaddr.Addr(v) })
+	case fTraceHopDNSName:
+		if !d.hopsSized {
+			err = fmt.Errorf("hop stripe before hop lengths")
+			break
+		}
+		err = r.stringDict(len(d.hops), func(i int, s string) { d.hops[i].DNSName = s })
+	case fTraceHopRTTms:
+		if !d.hopsSized {
+			err = fmt.Errorf("hop stripe before hop lengths")
+			break
+		}
+		err = r.floats(len(d.hops), func(i int, v float64) { d.hops[i].RTTms = v })
+	}
+	if err != nil {
+		return err
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes in stripe", r.remaining())
+	}
+	return nil
+}
+
+// checkComplete verifies every projected-in column arrived.
+func (d *chunkDecoder) checkComplete() error {
+	if d.proj.Tests {
+		want := uint64(0)
+		for f := fTestID; f <= uint64(numTestFields); f++ {
+			want |= 1 << f
+		}
+		if d.seenTests != want {
+			return fmt.Errorf("missing test stripes (seen %#x, want %#x)", d.seenTests, want)
+		}
+	}
+	if d.proj.Traces {
+		want := uint64(1)<<uint64(numTraceFields) - 1
+		if d.seenTraces != want {
+			return fmt.Errorf("missing trace stripes (seen %#x, want %#x)", d.seenTraces, want)
+		}
+	}
+	return nil
+}
+
+// frameScanner is a byte-counting cursor over the file's frames,
+// shared by the streaming reader and the seeking reader. It implements
+// io.ByteReader so binary.ReadUvarint tracks offsets for free.
+type frameScanner struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (s *frameScanner) ReadByte() (byte, error) {
+	b, err := s.br.ReadByte()
+	if err == nil {
+		s.off++
+	}
+	return b, err
+}
+
+func (s *frameScanner) uvarint() (uint64, error) {
+	return binary.ReadUvarint(s)
+}
+
+func (s *frameScanner) full(b []byte) error {
+	n, err := io.ReadFull(s.br, b)
+	s.off += int64(n)
+	return err
+}
+
+// payload reads a declared-length frame payload into dst, growing it
+// incrementally so a lying length cannot force an allocation larger
+// than the bytes that actually exist (plus one step).
+func (s *frameScanner) payload(n uint64, dst []byte) ([]byte, error) {
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("frame payload of %d bytes exceeds the %d limit", n, maxFramePayload)
+	}
+	b := dst[:0]
+	for rem := int(n); rem > 0; {
+		step := min(rem, 1<<20)
+		start := len(b)
+		b = append(b, make([]byte, step)...)
+		if err := s.full(b[start:]); err != nil {
+			return nil, err
+		}
+		rem -= step
+	}
+	return b, nil
+}
+
+// readColumnarHeader consumes and validates the magic and header
+// frame. A v1 NDJSON stream fed to the columnar reader is named as
+// such instead of surfacing as a magic mismatch.
+func readColumnarHeader(s *frameScanner) (streamHeader, error) {
+	var hdr streamHeader
+	var magic [8]byte
+	if err := s.full(magic[:]); err != nil {
+		return hdr, fmt.Errorf("export: columnar corpus: missing magic: %w", err)
+	}
+	if string(magic[:]) != columnarMagic {
+		if bytes.HasPrefix([]byte(streamMagic), magic[:]) {
+			return hdr, fmt.Errorf("export: corpus is an NDJSON stream (%s), not a columnar corpus: a columnar reader requires %s (magic %q); open it with OpenStream or -corpus-format ndjson",
+				StreamFormat, ColumnarFormat, columnarMagic)
+		}
+		return hdr, fmt.Errorf("export: not a columnar corpus: magic %q (want %q)", magic, columnarMagic)
+	}
+	n, err := s.uvarint()
+	if err != nil || n > maxFramePayload {
+		return hdr, fmt.Errorf("export: columnar corpus: invalid header frame length")
+	}
+	payload, err := s.payload(n, nil)
+	if err != nil {
+		return hdr, fmt.Errorf("export: columnar corpus: truncated header: %w", err)
+	}
+	var sum [4]byte
+	if err := s.full(sum[:]); err != nil {
+		return hdr, fmt.Errorf("export: columnar corpus: truncated header checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return hdr, fmt.Errorf("export: columnar corpus: header checksum mismatch (%08x != %08x)", got, want)
+	}
+	if err := json.Unmarshal(payload, &hdr); err != nil {
+		return hdr, fmt.Errorf("export: columnar corpus: invalid header: %w", err)
+	}
+	if hdr.Format != ColumnarFormat {
+		return hdr, fmt.Errorf("export: columnar corpus: unsupported format %q (want %q)", hdr.Format, ColumnarFormat)
+	}
+	if err := hdr.Public.Validate(); err != nil {
+		return hdr, err
+	}
+	return hdr, nil
+}
+
+// decodeFooterPayload parses the footer frame payload: campaign totals
+// plus the chunk index.
+func decodeFooterPayload(payload []byte) (StreamFooter, []ChunkIndexEntry, error) {
+	r := &colReader{b: payload}
+	f := StreamFooter{Footer: true}
+	vals := [9]uint64{}
+	for i := range vals {
+		v, err := r.uvarint()
+		if err != nil {
+			return f, nil, fmt.Errorf("footer: %w", err)
+		}
+		vals[i] = v
+	}
+	f.Chunks, f.Tests, f.Traces, f.TestsWithoutTrace = int(vals[0]), int(vals[1]), int(vals[2]), int(vals[3])
+	f.Completeness = platform.Completeness{
+		ScheduledTests: int(vals[4]), AbandonedTests: int(vals[5]),
+		DroppedRows: int(vals[6]), TruncatedTests: int(vals[7]), DegradedTraces: int(vals[8]),
+	}
+	if f.Chunks < 0 || f.Chunks > len(payload) {
+		return f, nil, fmt.Errorf("footer declares %d chunks in a %d-byte payload", f.Chunks, len(payload))
+	}
+	index := make([]ChunkIndexEntry, f.Chunks)
+	prev := int64(0)
+	for i := range index {
+		var row [4]uint64
+		for j := range row {
+			v, err := r.uvarint()
+			if err != nil {
+				return f, nil, fmt.Errorf("footer index entry %d: %w", i, err)
+			}
+			row[j] = v
+		}
+		prev += int64(row[0])
+		index[i] = ChunkIndexEntry{Offset: prev, Watermark: int(row[1]), Tests: int(row[2]), Traces: int(row[3])}
+	}
+	if r.remaining() != 0 {
+		return f, nil, fmt.Errorf("footer: %d trailing bytes after index", r.remaining())
+	}
+	return f, index, nil
+}
+
+// colRawFrame is one undecoded frame in flight to the decode workers.
+type colRawFrame struct {
+	seq  int
+	off  int64
+	kind byte
+	buf  *[]byte // pooled payload; ownership passes to the decoder
+	err  error   // read failure (io.EOF for clean end of input)
+}
+
+// colDecoded is one classified frame: exactly one of chunk, footer, or
+// err is set. pre and off ride along for the in-order bookkeeping.
+type colDecoded struct {
+	chunk    *StreamChunk
+	pre      colPreamble
+	off      int64
+	footer   *StreamFooter
+	index    []ChunkIndexEntry
+	err      error
+	readFail bool
+}
+
+// decodeColFrame is the single decode routine shared by the serial and
+// worker paths. The caller keeps ownership of rf.buf — the serial path
+// reuses its long-lived scratch and must never leak it into the shared
+// frame pool, so releasing pooled buffers is the worker loop's job.
+func decodeColFrame(rf colRawFrame, proj Projection) colDecoded {
+	if rf.err != nil {
+		return colDecoded{err: rf.err, readFail: true}
+	}
+	switch rf.kind {
+	case frameChunk:
+		c, pre, err := decodeChunkPayload(*rf.buf, proj)
+		if err != nil {
+			return colDecoded{err: fmt.Errorf("export: columnar corpus: chunk %d: %w", rf.seq, err)}
+		}
+		return colDecoded{chunk: c, pre: pre, off: rf.off}
+	case frameFooter:
+		f, index, err := decodeFooterPayload(*rf.buf)
+		if err != nil {
+			return colDecoded{err: fmt.Errorf("export: columnar corpus: %w", err)}
+		}
+		return colDecoded{footer: &f, index: index}
+	}
+	return colDecoded{err: fmt.Errorf("export: columnar corpus: unknown frame kind %#02x at offset %d", rf.kind, rf.off)}
+}
+
+// colDecodePipeline mirrors decodePipeline for the columnar reader.
+type colDecodePipeline struct {
+	in       chan colRawFrame
+	ro       *stream.Reorder[colDecoded]
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ColumnarReader replays a columnar corpus chunk by chunk, the binary
+// counterpart of StreamReader. Each chunk's rows live in per-chunk
+// slabs, so a consumer may retain them after Next moves on.
+type ColumnarReader struct {
+	fs     frameScanner
+	header streamHeader
+	proj   Projection
+	footer *StreamFooter
+	read   StreamFooter      // accumulated totals for the footer cross-check
+	seen   []ChunkIndexEntry // observed offsets for the index cross-check
+	frame  []byte            // serial-path payload scratch
+	dp     *colDecodePipeline
+}
+
+// OpenColumnar reads and validates the magic and header of a columnar
+// corpus, decoding both column families.
+func OpenColumnar(r io.Reader) (*ColumnarReader, error) {
+	return OpenColumnarProjected(r, 1, EverythingProjection())
+}
+
+// OpenColumnarWorkers is OpenColumnar with worker-parallel chunk
+// decoding. Next returns the same chunks, in the same order, with the
+// same errors, at any worker count; call Close when abandoning the
+// reader before EOF.
+func OpenColumnarWorkers(r io.Reader, workers int) (*ColumnarReader, error) {
+	return OpenColumnarProjected(r, workers, EverythingProjection())
+}
+
+// OpenColumnarProjected opens a columnar corpus decoding only the
+// projected column families — the skipped side's stripes are checksum
+// verified but never parsed, and its slabs never allocated. Chunk and
+// footer bookkeeping (row counts, ordering, totals) is exact under any
+// projection.
+func OpenColumnarProjected(r io.Reader, workers int, proj Projection) (*ColumnarReader, error) {
+	cr := &ColumnarReader{fs: frameScanner{br: bufio.NewReaderSize(r, 1<<20)}, proj: proj}
+	hdr, err := readColumnarHeader(&cr.fs)
+	if err != nil {
+		return nil, err
+	}
+	cr.header = hdr
+	if workers <= 1 {
+		return cr, nil
+	}
+	dp := &colDecodePipeline{
+		in:   make(chan colRawFrame, workers),
+		ro:   stream.NewReorder[colDecoded](workers),
+		stop: make(chan struct{}),
+	}
+	dp.wg.Add(1)
+	go func() { // frame reader: the only goroutine touching cr.fs
+		defer dp.wg.Done()
+		defer close(dp.in)
+		for seq := 0; ; seq++ {
+			buf := getFrameBuf()
+			kind, off, err := cr.readRawFrame(buf)
+			rf := colRawFrame{seq: seq, off: off, kind: kind, buf: buf, err: err}
+			select {
+			case dp.in <- rf:
+			case <-dp.stop:
+				putFrameBuf(buf)
+				return
+			}
+			if err != nil || kind == frameFooter {
+				return
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dp.wg.Add(1)
+		go func() {
+			defer dp.wg.Done()
+			dead := false
+			for rf := range dp.in {
+				if dead {
+					putFrameBuf(rf.buf)
+					continue
+				}
+				d := decodeColFrame(rf, cr.proj)
+				putFrameBuf(rf.buf)
+				if !dp.ro.Put(rf.seq, d) {
+					dead = true
+				}
+			}
+		}()
+	}
+	go func() { dp.wg.Wait(); dp.ro.Close() }()
+	cr.dp = dp
+	return cr, nil
+}
+
+// readRawFrame reads the next frame's kind and payload into buf. For
+// the footer frame it also consumes and verifies the frame checksum
+// and the fixed-width tail, and confirms the file ends there. A clean
+// end of input before any frame surfaces as io.EOF (the caller turns
+// that into the truncation error).
+func (cr *ColumnarReader) readRawFrame(buf *[]byte) (kind byte, off int64, err error) {
+	off = cr.fs.off
+	kind, err = cr.fs.ReadByte()
+	if err != nil {
+		return 0, off, io.EOF
+	}
+	if kind != frameChunk && kind != frameFooter {
+		// Report through the decode path so serial and worker agree.
+		return kind, off, nil
+	}
+	n, err := cr.fs.uvarint()
+	if err != nil {
+		return kind, off, fmt.Errorf("frame at offset %d: invalid length: %w", off, errTruncOK(err))
+	}
+	*buf, err = cr.fs.payload(n, *buf)
+	if err != nil {
+		return kind, off, fmt.Errorf("frame at offset %d: %w", off, errTruncOK(err))
+	}
+	if kind != frameFooter {
+		return kind, off, nil
+	}
+	var sum [4]byte
+	if err := cr.fs.full(sum[:]); err != nil {
+		return kind, off, fmt.Errorf("footer checksum: %w", errTruncOK(err))
+	}
+	if got, want := crc32.Checksum(*buf, castagnoli), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return kind, off, fmt.Errorf("footer checksum mismatch (%08x != %08x)", got, want)
+	}
+	frameLen := cr.fs.off - off
+	var tail [12]byte
+	if err := cr.fs.full(tail[:]); err != nil {
+		return kind, off, fmt.Errorf("footer tail: %w", errTruncOK(err))
+	}
+	if string(tail[4:]) != columnarTail {
+		return kind, off, fmt.Errorf("footer tail magic %q (want %q)", tail[4:], columnarTail)
+	}
+	if got := int64(binary.LittleEndian.Uint32(tail[:4])); got != frameLen {
+		return kind, off, fmt.Errorf("footer tail length %d does not match frame length %d", got, frameLen)
+	}
+	if _, err := cr.fs.ReadByte(); err != io.EOF {
+		return kind, off, fmt.Errorf("trailing data after footer tail")
+	}
+	return kind, off, nil
+}
+
+// errTruncOK normalizes io.EOF / io.ErrUnexpectedEOF from a mid-frame
+// read into one truncation error.
+func errTruncOK(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("truncated")
+	}
+	return err
+}
+
+// Public returns the header's lookup bundle.
+func (cr *ColumnarReader) Public() *Public { return &cr.header.Public }
+
+// Meta returns the header's campaign metadata.
+func (cr *ColumnarReader) Meta() StreamMeta { return cr.header.Meta }
+
+// Next returns the next chunk, or io.EOF after the footer has been
+// consumed and cross-checked against the chunks (totals and index).
+func (cr *ColumnarReader) Next() (*StreamChunk, error) {
+	if cr.footer != nil {
+		return nil, io.EOF
+	}
+	var d colDecoded
+	if cr.dp != nil {
+		var ok bool
+		d, ok = cr.dp.ro.Next()
+		if !ok {
+			if err := cr.dp.ro.Err(); err != nil {
+				return nil, err
+			}
+			d = colDecoded{err: io.EOF, readFail: true}
+		}
+	} else {
+		cr.frame = cr.frame[:0]
+		kind, off, err := cr.readRawFrame(&cr.frame)
+		d = decodeColFrame(colRawFrame{seq: cr.read.Chunks, off: off, kind: kind, buf: &cr.frame, err: err}, cr.proj)
+	}
+	return cr.consume(d)
+}
+
+// consume folds one classified frame into the reader's running state:
+// the in-order half of Next, shared by the serial and worker paths.
+func (cr *ColumnarReader) consume(d colDecoded) (*StreamChunk, error) {
+	switch {
+	case d.readFail && d.err == io.EOF:
+		return nil, fmt.Errorf("export: columnar corpus truncated: no footer after %d chunks (%d tests)",
+			cr.read.Chunks, cr.read.Tests)
+	case d.readFail:
+		return nil, fmt.Errorf("export: columnar corpus: %w", d.err)
+	case d.err != nil:
+		return nil, d.err
+	case d.footer != nil:
+		f := *d.footer
+		cr.read.Footer = true
+		if f != cr.read {
+			return nil, fmt.Errorf("export: columnar corpus footer mismatch: footer says %d chunks / %d tests / %d traces, file holds %d / %d / %d",
+				f.Chunks, f.Tests, f.Traces, cr.read.Chunks, cr.read.Tests, cr.read.Traces)
+		}
+		for i, e := range d.index {
+			if e != cr.seen[i] {
+				return nil, fmt.Errorf("export: columnar corpus: footer index entry %d (%+v) does not match chunk frame (%+v)",
+					i, e, cr.seen[i])
+			}
+		}
+		cr.footer = d.footer
+		return nil, io.EOF
+	}
+	if d.pre.chunk != cr.read.Chunks {
+		return nil, fmt.Errorf("export: columnar corpus: chunk index %d where %d expected", d.pre.chunk, cr.read.Chunks)
+	}
+	cr.read.Chunks++
+	cr.read.Tests += d.pre.tests
+	cr.read.Traces += d.pre.traces
+	cr.read.TestsWithoutTrace += d.pre.testsWithoutTrace
+	cr.read.Completeness.Merge(d.pre.completeness)
+	cr.seen = append(cr.seen, ChunkIndexEntry{
+		Offset: d.off, Watermark: d.pre.watermark, Tests: d.pre.tests, Traces: d.pre.traces,
+	})
+	return d.chunk, nil
+}
+
+// Footer returns the file totals; non-nil only after Next returned
+// io.EOF.
+func (cr *ColumnarReader) Footer() *StreamFooter { return cr.footer }
+
+// Close releases a worker-backed reader's decode goroutines; it is a
+// no-op for serial readers and after a completed replay.
+func (cr *ColumnarReader) Close() error {
+	if cr.dp == nil {
+		return nil
+	}
+	cr.dp.stopOnce.Do(func() {
+		close(cr.dp.stop)
+		cr.dp.ro.Fail(errReaderClosed)
+	})
+	cr.dp.wg.Wait()
+	return nil
+}
+
+// ColumnarFile is random access over a columnar corpus through the
+// footer's chunk index: the header and index are read once (one seek
+// to the tail), then any chunk is one seek away.
+type ColumnarFile struct {
+	r      io.ReadSeeker
+	header streamHeader
+	footer StreamFooter
+	index  []ChunkIndexEntry
+}
+
+// OpenColumnarAt opens a columnar corpus for indexed chunk access. The
+// file must be sealed (footer written); an unsealed file fails here
+// exactly like a truncated streaming read.
+func OpenColumnarAt(r io.ReadSeeker) (*ColumnarFile, error) {
+	fs := frameScanner{br: bufio.NewReaderSize(r, 1<<16)}
+	hdr, err := readColumnarHeader(&fs)
+	if err != nil {
+		return nil, err
+	}
+	end, err := r.Seek(-12, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: seeking tail: %w", err)
+	}
+	var tail [12]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: reading tail: %w", err)
+	}
+	if string(tail[4:]) != columnarTail {
+		return nil, fmt.Errorf("export: columnar corpus truncated: no footer tail (found %q, want %q)", tail[4:], columnarTail)
+	}
+	frameLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if frameLen <= 0 || frameLen > end {
+		return nil, fmt.Errorf("export: columnar corpus: footer frame length %d out of range", frameLen)
+	}
+	if _, err := r.Seek(end-frameLen, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: seeking footer: %w", err)
+	}
+	ffs := frameScanner{br: bufio.NewReaderSize(r, 1<<16)}
+	kind, err := ffs.ReadByte()
+	if err != nil || kind != frameFooter {
+		return nil, fmt.Errorf("export: columnar corpus: footer frame not found at tail offset")
+	}
+	n, err := ffs.uvarint()
+	if err != nil || n > maxFramePayload {
+		return nil, fmt.Errorf("export: columnar corpus: invalid footer frame length")
+	}
+	payload, err := ffs.payload(n, nil)
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: truncated footer: %w", err)
+	}
+	var sum [4]byte
+	if err := ffs.full(sum[:]); err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: truncated footer checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("export: columnar corpus: footer checksum mismatch (%08x != %08x)", got, want)
+	}
+	footer, index, err := decodeFooterPayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: %w", err)
+	}
+	return &ColumnarFile{r: r, header: hdr, footer: footer, index: index}, nil
+}
+
+// Public returns the header's lookup bundle.
+func (cf *ColumnarFile) Public() *Public { return &cf.header.Public }
+
+// Meta returns the header's campaign metadata.
+func (cf *ColumnarFile) Meta() StreamMeta { return cf.header.Meta }
+
+// Footer returns the campaign totals.
+func (cf *ColumnarFile) Footer() StreamFooter { return cf.footer }
+
+// Index returns the chunk index: one row per chunk, in file order.
+func (cf *ColumnarFile) Index() []ChunkIndexEntry { return cf.index }
+
+// ChunkAt decodes chunk i through the index — one seek, one frame
+// read, no scanning.
+func (cf *ColumnarFile) ChunkAt(i int, proj Projection) (*StreamChunk, error) {
+	if i < 0 || i >= len(cf.index) {
+		return nil, fmt.Errorf("export: columnar corpus: chunk %d out of range (file has %d)", i, len(cf.index))
+	}
+	if _, err := cf.r.Seek(cf.index[i].Offset, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: seeking chunk %d: %w", i, err)
+	}
+	fs := frameScanner{br: bufio.NewReaderSize(cf.r, 1<<20)}
+	kind, err := fs.ReadByte()
+	if err != nil || kind != frameChunk {
+		return nil, fmt.Errorf("export: columnar corpus: no chunk frame at indexed offset %d", cf.index[i].Offset)
+	}
+	n, err := fs.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: chunk %d: invalid frame length", i)
+	}
+	payload, err := fs.payload(n, nil)
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: chunk %d: %w", i, errTruncOK(err))
+	}
+	c, pre, err := decodeChunkPayload(payload, proj)
+	if err != nil {
+		return nil, fmt.Errorf("export: columnar corpus: chunk %d: %w", i, err)
+	}
+	if pre.chunk != i {
+		return nil, fmt.Errorf("export: columnar corpus: chunk at indexed offset %d says index %d, want %d",
+			cf.index[i].Offset, pre.chunk, i)
+	}
+	return c, nil
+}

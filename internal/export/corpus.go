@@ -1,0 +1,102 @@
+// Unified corpus access across the two persisted formats: the NDJSON
+// stream (tputlab-corpus/1, debuggable and jq-able) and the binary
+// columnar corpus (tputlab-corpus/2, built for repeated re-analysis).
+// Callers that replay a corpus — report, platform reload, the future
+// campaign server — open through here and never care which format is
+// on disk; format-specific entry points stay available for callers
+// that require one (and fail with an error naming both the detected
+// and the expected format when handed the other).
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"throughputlab/internal/platform"
+)
+
+// CorpusWriter persists a campaign chunk by chunk; StreamWriter and
+// ColumnarWriter both satisfy it, so a collection sink can pick the
+// on-disk format at runtime.
+type CorpusWriter interface {
+	WriteChunk(c *platform.Chunk) error
+	Close() error
+	Footer() StreamFooter
+}
+
+// CorpusReader replays a persisted corpus chunk by chunk; StreamReader
+// and ColumnarReader both satisfy it.
+type CorpusReader interface {
+	Public() *Public
+	Meta() StreamMeta
+	Next() (*StreamChunk, error)
+	Footer() *StreamFooter
+	Close() error
+}
+
+var (
+	_ CorpusWriter = (*StreamWriter)(nil)
+	_ CorpusWriter = (*ColumnarWriter)(nil)
+	_ CorpusReader = (*StreamReader)(nil)
+	_ CorpusReader = (*ColumnarReader)(nil)
+)
+
+// NewCorpusWriter opens a chunked corpus writer in the named format
+// ("ndjson" or "columnar"), with worker-parallel encode when workers
+// is greater than one.
+func NewCorpusWriter(w io.Writer, format string, public Public, meta StreamMeta, workers int) (CorpusWriter, error) {
+	switch format {
+	case "", "ndjson":
+		return NewStreamWriterWorkers(w, public, meta, workers)
+	case "columnar":
+		return NewColumnarWriterWorkers(w, public, meta, workers)
+	}
+	return nil, fmt.Errorf("export: unknown corpus format %q (want ndjson or columnar)", format)
+}
+
+// OpenCorpus opens a persisted corpus of either format, detected by
+// its magic bytes.
+func OpenCorpus(r io.Reader) (CorpusReader, error) {
+	return OpenCorpusProjected(r, 1, EverythingProjection())
+}
+
+// OpenCorpusWorkers is OpenCorpus with worker-parallel chunk decoding.
+func OpenCorpusWorkers(r io.Reader, workers int) (CorpusReader, error) {
+	return OpenCorpusProjected(r, workers, EverythingProjection())
+}
+
+// OpenCorpusProjected opens a persisted corpus of either format with a
+// column projection. Only the columnar format can act on it — skipping
+// the stripes of a projected-out family is the big lever behind the
+// fast report-over-corpus path — but the projection is honored
+// logically by both: chunks from an NDJSON stream simply carry the
+// full rows.
+func OpenCorpusProjected(r io.Reader, workers int, proj Projection) (CorpusReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(columnarMagic))
+	if err == nil && string(head) == columnarMagic {
+		return OpenColumnarProjected(br, workers, proj)
+	}
+	return OpenStreamWorkers(br, workers)
+}
+
+// materializeCorpus drains an open reader into a Dataset.
+func materializeCorpus(cr CorpusReader) (*Dataset, error) {
+	d := &Dataset{Public: *cr.Public()}
+	for {
+		c, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Tests = append(d.Tests, c.Tests...)
+		d.Traces = append(d.Traces, c.Traces...)
+	}
+	f := cr.Footer()
+	d.TestsWithoutTrace = f.TestsWithoutTrace
+	d.Completeness = f.Completeness
+	return d, nil
+}

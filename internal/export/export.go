@@ -160,13 +160,21 @@ func (d *Dataset) Write(w io.Writer) error {
 }
 
 // Read decodes a dataset, auto-detecting the format: the original
-// single JSON blob, or the chunked NDJSON corpus stream (materialized
-// fully, with the footer's completeness ledger folded in). The public
-// bundle is validated either way.
+// single JSON blob, the chunked NDJSON corpus stream, or the binary
+// columnar corpus (streams are materialized fully, with the footer's
+// completeness ledger folded in). The public bundle is validated
+// either way.
 func Read(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	if head, err := br.Peek(len(streamMagic)); err == nil && bytes.HasPrefix(head, []byte(streamMagic)) {
 		return readStreamAll(br)
+	}
+	if head, err := br.Peek(len(columnarMagic)); err == nil && string(head) == columnarMagic {
+		cr, err := OpenColumnar(br)
+		if err != nil {
+			return nil, err
+		}
+		return materializeCorpus(cr)
 	}
 	var d Dataset
 	if err := json.NewDecoder(br).Decode(&d); err != nil {

@@ -264,17 +264,23 @@ func (sr *StreamReader) Close() error {
 
 // ReadWorkers is Read with worker-parallel stream decoding. A
 // single-blob dataset ignores the worker count (its decode is one
-// JSON document); a chunked stream is materialized through
-// OpenStreamWorkers.
+// JSON document); a chunked stream or columnar corpus is materialized
+// through its worker-parallel reader.
 func ReadWorkers(r io.Reader, workers int) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	isStream := false
 	if head, err := br.Peek(len(streamMagic)); err == nil && bytes.HasPrefix(head, []byte(streamMagic)) {
-		sr, err := OpenStreamWorkers(br, workers)
+		isStream = true
+	} else if head, err := br.Peek(len(columnarMagic)); err == nil && string(head) == columnarMagic {
+		isStream = true
+	}
+	if isStream {
+		cr, err := OpenCorpusWorkers(br, workers)
 		if err != nil {
 			return nil, err
 		}
-		defer sr.Close()
-		return materializeStream(sr)
+		defer cr.Close()
+		return materializeCorpus(cr)
 	}
 	return Read(br)
 }

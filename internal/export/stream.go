@@ -170,9 +170,15 @@ type StreamReader struct {
 	dp     *decodePipeline // non-nil only via OpenStreamWorkers
 }
 
-// OpenStream reads and validates the stream header.
+// OpenStream reads and validates the stream header. A columnar corpus
+// fed to this NDJSON-only entry point is named as such instead of
+// surfacing as a JSON syntax error.
 func OpenStream(r io.Reader) (*StreamReader, error) {
 	sr := &StreamReader{br: bufio.NewReaderSize(r, 1<<20)}
+	if head, err := sr.br.Peek(len(columnarMagic)); err == nil && string(head) == columnarMagic {
+		return nil, fmt.Errorf("export: corpus is a binary columnar corpus (%s), not an NDJSON stream: a columnar corpus requires the columnar reader — open it with OpenColumnar/OpenCorpus or -corpus-format columnar",
+			ColumnarFormat)
+	}
 	line, err := sr.readLine()
 	if err != nil {
 		return nil, fmt.Errorf("export: corpus stream: missing header: %w", err)
@@ -281,25 +287,5 @@ func readStreamAll(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return materializeStream(sr)
-}
-
-// materializeStream drains an open reader into a Dataset.
-func materializeStream(sr *StreamReader) (*Dataset, error) {
-	d := &Dataset{Public: *sr.Public()}
-	for {
-		c, err := sr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		d.Tests = append(d.Tests, c.Tests...)
-		d.Traces = append(d.Traces, c.Traces...)
-	}
-	f := sr.Footer()
-	d.TestsWithoutTrace = f.TestsWithoutTrace
-	d.Completeness = f.Completeness
-	return d, nil
+	return materializeCorpus(sr)
 }
