@@ -27,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"throughputlab/internal/checkpoint"
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/export"
 	"throughputlab/internal/faults"
@@ -255,6 +256,103 @@ func corpusFormatRows(w *topogen.World, cfg platform.CollectConfig, scaleName st
 	return rows, nil
 }
 
+// CheckpointOverhead compares persisting one streamed campaign through
+// a plain corpus writer against the crash-safe checkpointing writer —
+// partial-file indirection, chunk-boundary encode-pipeline drains,
+// fsync and atomic manifest rewrites at the default cadence, then the
+// rename publication — on the same warm world. The corpus bytes are
+// identical; the ratio is the durability tax, budgeted at <= 3% and
+// held there by CI.
+type CheckpointOverhead struct {
+	PlainSeconds        float64 `json:"plain_seconds"`
+	CheckpointSeconds   float64 `json:"checkpoint_seconds"`
+	CheckpointOverPlain float64 `json:"checkpoint_over_plain_ratio"`
+}
+
+// checkpointOverheadRow measures the plain-vs-checkpointed persist pair
+// (median of three alternating rounds, so one background hiccup cannot
+// swing the ratio).
+func checkpointOverheadRow(w *topogen.World, cfg platform.CollectConfig, scaleName string, workers int) (*CheckpointOverhead, error) {
+	dir, err := os.MkdirTemp("", "tputlab-bench-ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	pub := export.FromWorld(w, nil).Public
+	meta := export.StreamMeta{Scale: scaleName, Seed: cfg.Seed, Tests: cfg.Tests}
+	fp := checkpoint.Fingerprint{
+		Scale: scaleName, Seed: cfg.Seed, Tests: cfg.Tests,
+		Shards: cfg.Shards, ChunkTests: cfg.ChunkTests,
+		Faults: cfg.Faults.Name, FaultSeed: cfg.FaultSeed, Format: "ndjson",
+	}
+
+	plainOnce := func() (float64, error) {
+		path := filepath.Join(dir, "plain.corpus")
+		f, err := os.Create(path)
+		if err != nil {
+			return 0, err
+		}
+		cw, err := export.NewCorpusWriter(f, "ndjson", pub, meta, workers)
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		start := time.Now()
+		_, err = platform.CollectStream(w, cfg, workers, cw.WriteChunk)
+		if err == nil {
+			err = cw.Close()
+		}
+		if cErr := f.Close(); err == nil {
+			err = cErr
+		}
+		return time.Since(start).Seconds(), err
+	}
+	ckptOnce := func() (float64, error) {
+		path := filepath.Join(dir, "ckpt.corpus")
+		cw, err := checkpoint.Create(path, "ndjson", pub, meta, fp, workers, checkpoint.Options{})
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		_, err = platform.CollectStream(w, cfg, workers, cw.WriteChunk)
+		if err == nil {
+			err = cw.Close()
+		} else {
+			cw.Discard()
+		}
+		return time.Since(start).Seconds(), err
+	}
+
+	var plains, ckpts []float64
+	for i := 0; i < 3; i++ {
+		p, err := plainOnce()
+		if err != nil {
+			return nil, err
+		}
+		c, err := ckptOnce()
+		if err != nil {
+			return nil, err
+		}
+		plains = append(plains, p)
+		ckpts = append(ckpts, c)
+	}
+	co := &CheckpointOverhead{
+		PlainSeconds:      medianFloat(plains),
+		CheckpointSeconds: medianFloat(ckpts),
+	}
+	if co.PlainSeconds > 0 {
+		co.CheckpointOverPlain = co.CheckpointSeconds / co.PlainSeconds
+	}
+	return co, nil
+}
+
+// medianFloat returns the median of a small sample.
+func medianFloat(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
 // medianResult picks the result with the median per-op wall time.
 func medianResult(rs []testing.BenchmarkResult) testing.BenchmarkResult {
 	sorted := append([]testing.BenchmarkResult(nil), rs...)
@@ -295,6 +393,10 @@ type Baseline struct {
 	// TelemetryOverhead is the plain-vs-fully-instrumented collection
 	// pair (present in -quick mode too, so CI can hold the budget).
 	TelemetryOverhead *TelemetryOverhead `json:"telemetry_overhead,omitempty"`
+	// CheckpointOverhead is the plain-vs-checkpointed corpus-persist
+	// pair on the last in-memory scale (present in -quick mode too, so
+	// CI can hold the <= 3% durability budget).
+	CheckpointOverhead *CheckpointOverhead `json:"checkpoint_overhead,omitempty"`
 	// ResolverCacheHitRates records the resolver cache efficiency over
 	// the medium-scale collection run, as percentages.
 	ResolverCacheHitRates map[string]float64 `json:"resolver_cache_hit_rates"`
@@ -688,6 +790,12 @@ func benchCmd(args []string) error {
 				return err
 			}
 			b.CorpusFormats = append(b.CorpusFormats, rows...)
+			fmt.Fprintf(os.Stderr, "bench: checkpoint overhead (%s, plain vs checkpointed persist)...\n", scale.name)
+			co, err := checkpointOverheadRow(fw, scfg, scale.name, *workers)
+			if err != nil {
+				return err
+			}
+			b.CheckpointOverhead = co
 		}
 	}
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -73,7 +74,7 @@ func TestCorpusFormatsReportParity(t *testing.T) {
 			}
 			baseline := ""
 			for _, format := range []string{"ndjson", "columnar"} {
-				out, err := reportStreamed(formatOpts(t, profile), nil, "small", paths[format], format)
+				out, err := reportStreamed(context.Background(), formatOpts(t, profile), nil, "small", paths[format], format, 0)
 				if err != nil {
 					t.Fatalf("reportStreamed %s: %v", format, err)
 				}
@@ -131,7 +132,7 @@ func TestCorpusFormatMismatchError(t *testing.T) {
 		t.Skip("builds a world")
 	}
 	path := t.TempDir() + "/corpus.tpc"
-	if _, err := reportStreamed(formatOpts(t, "off"), nil, "small", path, "columnar"); err != nil {
+	if _, err := reportStreamed(context.Background(), formatOpts(t, "off"), nil, "small", path, "columnar", 0); err != nil {
 		t.Fatal(err)
 	}
 	_, err := reportFromCorpus(path, "ndjson", formatOpts(t, "off"), nil)

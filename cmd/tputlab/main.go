@@ -13,16 +13,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"throughputlab/internal/bdrmap"
+	"throughputlab/internal/checkpoint"
 	"throughputlab/internal/datasets"
 	"throughputlab/internal/experiments"
 	"throughputlab/internal/export"
@@ -53,15 +58,9 @@ func main() {
 			fmt.Printf("  %-12s %s\n", e.Name, e.Paper)
 		}
 	case "run":
-		if err := runCmd(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "tputlab:", err)
-			os.Exit(1)
-		}
+		exitOn(runCmd(os.Args[2:]))
 	case "report":
-		if err := reportCmd(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "tputlab:", err)
-			os.Exit(1)
-		}
+		exitOn(reportCmd(os.Args[2:]))
 	case "bench":
 		if err := benchCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "tputlab:", err)
@@ -73,6 +72,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tputlab: unknown command %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
+	}
+}
+
+// exitOn maps a command's error to the process exit code: 0 success,
+// 3 for a graceful interrupt (the campaign checkpointed and can be
+// resumed — distinct from 1 so wrapper scripts can tell "retry with
+// -resume" from "broken"), 1 for everything else. A second signal
+// hard-exits 130 from the handler itself.
+func exitOn(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "tputlab:", err)
+	if errors.Is(err, platform.ErrInterrupted) {
+		os.Exit(3)
+	}
+	os.Exit(1)
+}
+
+// signalContext arms cooperative cancellation: the first SIGINT or
+// SIGTERM cancels the returned context with platform.ErrInterrupted as
+// the cause — generation stops at its next phase boundary, collection
+// drains the chunks already claimed and checkpoints — and a second
+// signal hard-exits 130 without waiting for the drain.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-ch; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "tputlab: interrupt — draining in-flight chunks and checkpointing (interrupt again to abort hard)")
+		cancel(platform.ErrInterrupted)
+		if _, ok := <-ch; ok {
+			os.Exit(130)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel(nil)
 	}
 }
 
@@ -105,6 +146,19 @@ flags for run/report:
   -corpus FILE           (report) report over a corpus previously
                          persisted with -corpus-out, without
                          re-collecting (no world generation)
+  -resume MANIFEST       continue an interrupted -corpus-out campaign
+                         from its checkpoint manifest: the identity
+                         flags (scale/seed/tests/faults/...) come from
+                         the manifest and may not be repeated; the
+                         published corpus and report are byte-identical
+                         to an uninterrupted run
+  -chunk-tests N         streamed-collection chunk size in scheduled
+                         tests (0 = platform default); not part of the
+                         corpus identity, but checkpoints land on chunk
+                         boundaries
+  -checkpoint-every N    with -corpus-out, chunks between durability
+                         barriers (fsync + manifest update); default 8,
+                         1 checkpoints at every chunk boundary
   -seed N                generation seed (default 1)
   -tests N               NDT corpus size (0 = scale default)
   -parallel N            engine worker count (default GOMAXPROCS);
@@ -142,7 +196,10 @@ flags for run/report:
                          run (e.g. 30s), for scrapes of the final state
 
 telemetry never changes results: corpus and report bytes are identical
-with every combination of the flags above on or off`)
+with every combination of the flags above on or off
+
+exit codes: 0 success; 1 error; 2 usage; 3 interrupted after a durable
+checkpoint (resume with -resume); 130 hard abort (second signal)`)
 }
 
 // scaleOptions maps a -scale value to its environment options; unknown
@@ -186,6 +243,9 @@ type commonFlags struct {
 	corpusFormat *string
 	faults       *string
 	faultSeed    *int64
+	chunkTests   *int
+	resume       *string
+	ckptEvery    *int
 	metrics      *bool
 	metricsJSON  *string
 
@@ -213,6 +273,9 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 		corpusFormat: fs.String("corpus-format", "", "corpus file format: ndjson or columnar (write default ndjson; read default auto-detect)"),
 		faults:       fs.String("faults", "off", "fault-injection profile: off, light, moderate or heavy"),
 		faultSeed:    fs.Int64("faultseed", 0, "fault-injection seed (0 = generation seed)"),
+		chunkTests:   fs.Int("chunk-tests", 0, "streamed-collection chunk size in scheduled tests (0 = platform default)"),
+		resume:       fs.String("resume", "", "continue an interrupted campaign from this checkpoint manifest"),
+		ckptEvery:    fs.Int("checkpoint-every", 0, "chunks between -corpus-out durability barriers (0 = default 8)"),
 		metrics:      fs.Bool("metrics", false, "print phase spans and pipeline metrics to stderr"),
 		metricsJSON:  fs.String("metrics-json", "", "write the metrics registry dump to this file as JSON"),
 
@@ -257,6 +320,12 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	default:
 		return experiments.Options{}, nil, fmt.Errorf("invalid -corpus-format %q (valid: ndjson, columnar)", *cf.corpusFormat)
 	}
+	if *cf.chunkTests < 0 {
+		return experiments.Options{}, nil, fmt.Errorf("-chunk-tests must be >= 0 (got %d)", *cf.chunkTests)
+	}
+	if *cf.ckptEvery < 0 {
+		return experiments.Options{}, nil, fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *cf.ckptEvery)
+	}
 	prof, err := faults.ByName(*cf.faults)
 	if err != nil {
 		return experiments.Options{}, nil, err
@@ -268,6 +337,7 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	}
 	opts.Collect.Faults = prof
 	opts.Collect.FaultSeed = *cf.faultSeed
+	opts.Collect.ChunkTests = *cf.chunkTests
 	opts.Collect.PipelineChunks = *cf.pipeline
 	opts.Workers = *cf.workers
 	var reg *obs.Registry
@@ -307,20 +377,25 @@ func (cf *commonFlags) options() (experiments.Options, *obs.Registry, error) {
 	return opts, reg, nil
 }
 
-// emitMetrics finishes the telemetry for a successful run: it publishes
-// the terminal campaign.done event, drains and closes the event bus (so
-// the -events NDJSON stream is complete before the file is sealed),
-// renders the registry per the flags — the human summary to stderr
-// (-metrics), the JSON dump to a file (-metrics-json), the Chrome trace
-// to a file (-trace-out) — and finally lets the -telemetry-addr
-// endpoint linger for scrapes before shutting it down. stdout is never
-// touched, so experiment output stays byte-identical.
-func (cf *commonFlags) emitMetrics(reg *obs.Registry) error {
+// emitMetrics finishes the telemetry for a run: it publishes the
+// terminal event — campaign.done, or campaign.interrupted when the run
+// was cancelled after a durable checkpoint — drains and closes the
+// event bus (so the -events NDJSON stream is complete before the file
+// is sealed), renders the registry per the flags — the human summary
+// to stderr (-metrics), the JSON dump to a file (-metrics-json), the
+// Chrome trace to a file (-trace-out) — and finally lets the
+// -telemetry-addr endpoint linger for scrapes before shutting it down.
+// stdout is never touched, so experiment output stays byte-identical.
+func (cf *commonFlags) emitMetrics(reg *obs.Registry, runErr error) error {
 	if reg == nil {
 		return nil
 	}
 	if bus := reg.Events(); bus != nil {
-		bus.Publish("campaign.done", "", -1, 1)
+		if errors.Is(runErr, platform.ErrInterrupted) {
+			bus.Publish("campaign.interrupted", "", -1, 1)
+		} else if runErr == nil {
+			bus.Publish("campaign.done", "", -1, 1)
+		}
 		bus.Close()
 	}
 	if *cf.metrics {
@@ -373,29 +448,57 @@ func reportCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts, reg, err := cf.options()
-	if err != nil {
-		return err
-	}
+	ctx, stopSignals := signalContext()
+	defer stopSignals()
+
 	var out string
+	var reg *obs.Registry
+	var err error
 	switch {
+	case *cf.resume != "":
+		if err := checkResumeFlags(fs); err != nil {
+			return err
+		}
+		if *corpusIn != "" || *corpusOut != "" || *streamed {
+			return fmt.Errorf("-resume is incompatible with -corpus, -corpus-out and -stream (the corpus path and assembly come from the manifest)")
+		}
+		var env *experiments.Env
+		env, reg, err = resumeCampaign(ctx, cf)
+		if err == nil {
+			sp := reg.Span("report")
+			out = report.Build(env, report.DefaultConfig()).Render()
+			sp.End()
+		}
 	case *corpusIn != "":
 		if *corpusOut != "" {
 			return fmt.Errorf("-corpus and -corpus-out are mutually exclusive (the stream already exists)")
 		}
+		var opts experiments.Options
+		opts, reg, err = cf.options()
+		if err != nil {
+			return err
+		}
 		out, err = reportFromCorpus(*corpusIn, *cf.corpusFormat, opts, reg)
 	case *streamed:
-		out, err = reportStreamed(opts, reg, *cf.scale, *corpusOut, *cf.corpusFormat)
+		var opts experiments.Options
+		opts, reg, err = cf.options()
+		if err != nil {
+			return err
+		}
+		out, err = reportStreamed(ctx, opts, reg, *cf.scale, *corpusOut, *cf.corpusFormat, *cf.ckptEvery)
 	default:
-		var sealCorpus func() error
+		var opts experiments.Options
+		opts, reg, err = cf.options()
+		if err != nil {
+			return err
+		}
+		seal := func(runErr error) error { return runErr }
 		if *corpusOut != "" {
-			sealCorpus = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale)
+			seal = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale, *cf.ckptEvery)
 		}
 		var env *experiments.Env
-		env, err = experiments.NewEnv(opts)
-		if err == nil && sealCorpus != nil {
-			err = sealCorpus()
-		}
+		env, err = experiments.NewEnvCtx(ctx, opts)
+		err = seal(err)
 		if err == nil {
 			sp := reg.Span("report")
 			out = report.Build(env, report.DefaultConfig()).Render()
@@ -403,51 +506,217 @@ func reportCmd(args []string) error {
 		}
 	}
 	if err != nil {
-		return err
+		return finish(cf, reg, err)
 	}
 	fmt.Println(out)
-	return cf.emitMetrics(reg)
+	return finish(cf, reg, nil)
 }
 
-// teeCorpus wires -corpus-out into an experiment environment: it
+// finish folds telemetry emission into a command's return: the run
+// error (nil, interrupted, or failed) picks the terminal event, and an
+// emission failure only surfaces when the run itself succeeded.
+func finish(cf *commonFlags, reg *obs.Registry, runErr error) error {
+	if err := cf.emitMetrics(reg, runErr); runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// fingerprintFromOpts assembles the campaign-identity fingerprint the
+// checkpoint manifest pins a partial corpus to.
+func fingerprintFromOpts(scale string, opts experiments.Options, format string) checkpoint.Fingerprint {
+	return checkpoint.Fingerprint{
+		Scale:      scale,
+		Seed:       opts.Topo.Seed,
+		Tests:      opts.Collect.Tests,
+		Shards:     opts.Collect.Shards,
+		ChunkTests: opts.Collect.ChunkTests,
+		Faults:     opts.Collect.Faults.Name,
+		FaultSeed:  opts.Collect.FaultSeed,
+		Format:     format,
+	}
+}
+
+// resumeFlagConflicts returns the campaign-identity flags that were
+// explicitly set alongside -resume, in lexical order. Those values are
+// pinned by the manifest; repeating them is either redundant or a
+// silent request for a different corpus, so both fail fast with every
+// offending flag named.
+func resumeFlagConflicts(fs *flag.FlagSet) []string {
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale", "seed", "tests", "faults", "faultseed", "corpus-format", "chunk-tests":
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	return bad
+}
+
+// checkResumeFlags rejects a -resume invocation that also sets
+// identity flags.
+func checkResumeFlags(fs *flag.FlagSet) error {
+	if bad := resumeFlagConflicts(fs); len(bad) > 0 {
+		return fmt.Errorf("-resume pins the campaign identity from the manifest; drop the conflicting flag(s): %s",
+			strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// teeCorpus wires -corpus-out through the checkpoint layer: it
 // installs opts.CorpusSink so the campaign is persisted chunk by chunk
-// as it is collected — in the NDJSON stream or binary columnar format
-// per -corpus-format — and returns the closer that seals the file's
-// footer (call it once NewEnv succeeds; a file without a footer reads
-// as truncated, which is the right outcome for a failed campaign).
-func teeCorpus(path, format string, opts *experiments.Options, scale string) func() error {
+// into path+".partial" with periodic chunk-boundary checkpoints
+// (encode-pipeline drain, fsync, atomic manifest rewrite), and the
+// corpus appears at path only through the footer-then-rename in the
+// returned seal — so the readable path is always absent, a complete
+// prior corpus, or a complete current one.
+//
+// The seal must be called exactly once with the campaign's error: nil
+// publishes atomically and removes the manifest; an interrupt flushes
+// a final checkpoint and keeps the partial corpus plus manifest for
+// -resume (printing the hint); any other error discards both so the
+// first failure propagates with nothing half-written left behind.
+func teeCorpus(path, format string, opts *experiments.Options, scale string, every int) func(error) error {
 	if format == "" || format == "auto" {
 		format = "ndjson"
 	}
-	var f *os.File
-	var sw export.CorpusWriter
-	seed, tests, workers := opts.Topo.Seed, opts.Collect.Tests, opts.Workers
-	opts.CorpusSink = func(w *topogen.World) (func(*platform.Chunk) error, error) {
+	var w *checkpoint.Writer
+	eopts := *opts
+	opts.CorpusSink = func(world *topogen.World) (func(*platform.Chunk) error, error) {
 		var err error
-		f, err = os.Create(path)
+		w, err = checkpoint.Create(path, format, export.FromWorld(world, nil).Public,
+			export.StreamMeta{Scale: scale, Seed: eopts.Topo.Seed, Tests: eopts.Collect.Tests},
+			fingerprintFromOpts(scale, eopts, format), eopts.Workers,
+			checkpoint.Options{SyncEveryChunks: every})
 		if err != nil {
 			return nil, err
 		}
-		sw, err = export.NewCorpusWriter(f, format, export.FromWorld(w, nil).Public,
-			export.StreamMeta{Scale: scale, Seed: seed, Tests: tests}, workers)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		return sw.WriteChunk, nil
+		return w.WriteChunk, nil
 	}
-	return func() error {
-		if sw == nil {
-			return nil
+	return func(runErr error) error {
+		if w == nil {
+			return runErr // campaign died before the sink was armed
 		}
-		if err := sw.Close(); err != nil {
-			f.Close()
+		switch {
+		case runErr == nil:
+			ft := w.Footer()
+			if err := w.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "corpus: wrote %s (%d chunks, %d tests, %d traces)\n",
+				path, ft.Chunks, ft.Tests, ft.Traces)
+			return nil
+		case errors.Is(runErr, platform.ErrInterrupted):
+			mpath, err := w.Interrupt()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tputlab: checkpoint flush on interrupt failed:", err)
+				return runErr
+			}
+			d := w.Durable()
+			fmt.Fprintf(os.Stderr, "corpus: interrupted with %d chunks (%d tests) durable; continue with:\n  tputlab report -resume %s\n",
+				d.Chunks, d.Tests, mpath)
+			return runErr
+		default:
+			w.Discard()
+			return runErr
+		}
+	}
+}
+
+// resumeCampaign is `-resume MANIFEST`: it rebuilds the interrupted
+// campaign end to end — identity flags adopted from the manifest's
+// fingerprint, world regenerated and verified against the recorded
+// world hash, the durable corpus prefix replayed off disk into memory,
+// collection restarted at the first non-durable chunk with the suffix
+// appended to the partial file, and the corpus published atomically on
+// completion. The returned Env carries the spliced corpus; inference
+// over it is byte-identical to an uninterrupted run. A second
+// interrupt mid-resume checkpoints again and keeps the manifest, so
+// resume composes with itself.
+func resumeCampaign(ctx context.Context, cf *commonFlags) (*experiments.Env, *obs.Registry, error) {
+	m, err := checkpoint.LoadManifest(*cf.resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Adopt the manifest's identity before building Options, so scale
+	// defaults, fault profiles and telemetry wiring all flow through the
+	// one flag path. Conflicting explicit flags were rejected already.
+	fp := m.Fingerprint
+	*cf.scale = fp.Scale
+	*cf.seed = fp.Seed
+	*cf.tests = fp.Tests
+	*cf.faults = fp.Faults
+	if fp.Faults == "" {
+		*cf.faults = "off"
+	}
+	*cf.faultSeed = fp.FaultSeed
+	*cf.chunkTests = fp.ChunkTests
+	*cf.corpusFormat = fp.Format
+	opts, reg, err := cf.options()
+	if err != nil {
+		return nil, reg, err
+	}
+	opts.Collect.Shards = fp.Shards
+	opts.Topo.Obs = reg
+	opts.Collect.Obs = reg
+
+	fmt.Fprintf(os.Stderr, "resuming campaign from %s: %d of %d tests durable, regenerating world (scale=%s seed=%d)...\n",
+		*cf.resume, m.Durable.Tests, fp.Tests, fp.Scale, fp.Seed)
+	w, err := topogen.GenerateCtx(ctx, opts.Topo)
+	if err != nil {
+		return nil, reg, err
+	}
+
+	corpus := &platform.Corpus{}
+	cw, err := checkpoint.Resume(m, export.FromWorld(w, nil).Public,
+		export.StreamMeta{Scale: fp.Scale, Seed: fp.Seed, Tests: opts.Collect.Tests},
+		fingerprintFromOpts(fp.Scale, opts, fp.Format), opts.Workers,
+		checkpoint.Options{SyncEveryChunks: *cf.ckptEvery},
+		func(c *export.StreamChunk) error {
+			corpus.Tests = append(corpus.Tests, c.Tests...)
+			corpus.Traces = append(corpus.Traces, c.Traces...)
+			corpus.TestsWithoutTrace += c.TestsWithoutTrace
+			corpus.Completeness.Merge(c.Completeness)
+			return nil
+		})
+	if err != nil {
+		return nil, reg, err
+	}
+
+	cfg := opts.Collect
+	cfg.StartChunk = m.Durable.Chunks
+	_, cerr := platform.CollectStreamCtx(ctx, w, cfg, opts.Workers, func(c *platform.Chunk) error {
+		if err := cw.WriteChunk(c); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "corpus: wrote %s (%d chunks, %d tests, %d traces)\n",
-			path, sw.Footer().Chunks, sw.Footer().Tests, sw.Footer().Traces)
-		return f.Close()
+		corpus.Tests = append(corpus.Tests, c.Tests...)
+		corpus.Traces = append(corpus.Traces, c.Traces...)
+		corpus.TestsWithoutTrace += c.TestsWithoutTrace
+		corpus.Completeness.Merge(c.Completeness)
+		return nil
+	})
+	if cerr != nil {
+		if errors.Is(cerr, platform.ErrInterrupted) {
+			mpath, ierr := cw.Interrupt()
+			if ierr != nil {
+				fmt.Fprintln(os.Stderr, "tputlab: checkpoint flush on interrupt failed:", ierr)
+			} else {
+				d := cw.Durable()
+				fmt.Fprintf(os.Stderr, "corpus: interrupted with %d chunks (%d tests) durable; continue with:\n  tputlab report -resume %s\n",
+					d.Chunks, d.Tests, mpath)
+			}
+		} else {
+			cw.Discard()
+		}
+		return nil, reg, cerr
 	}
+	ft := cw.Footer()
+	if err := cw.Close(); err != nil {
+		return nil, reg, err
+	}
+	fmt.Fprintf(os.Stderr, "corpus: wrote %s (%d chunks, %d tests, %d traces)\n",
+		m.CorpusFinal, ft.Chunks, ft.Tests, ft.Traces)
+	return experiments.NewEnvWithCorpus(opts, w, corpus), reg, nil
 }
 
 // reportStreamed is `report -stream`: the two-pass chunked assembly
@@ -459,10 +728,10 @@ func teeCorpus(path, format string, opts *experiments.Options, scale string) fun
 // accumulator overlapping. Peak memory is a few chunks plus the
 // matcher's watermark window; the rendered report is byte-identical to
 // the batch path at every -parallel/-pipeline value.
-func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOut, corpusFormat string) (string, error) {
+func reportStreamed(ctx context.Context, opts experiments.Options, reg *obs.Registry, scale, corpusOut, corpusFormat string, ckptEvery int) (string, error) {
 	opts.Topo.Obs = reg
 	opts.Collect.Obs = reg
-	w, err := topogen.Generate(opts.Topo)
+	w, err := topogen.GenerateCtx(ctx, opts.Topo)
 	if err != nil {
 		return "", err
 	}
@@ -479,10 +748,10 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 		Name: "mapit",
 		Fn:   func(c *platform.Chunk) error { b.AddTraces(c.Traces); return nil },
 	}}
-	var seal func() error
+	seal := func(runErr error) error { return runErr }
 	if corpusOut != "" {
 		eo := opts
-		seal = teeCorpus(corpusOut, corpusFormat, &eo, scale)
+		seal = teeCorpus(corpusOut, corpusFormat, &eo, scale, ckptEvery)
 		tee, err := eo.CorpusSink(w)
 		if err != nil {
 			return "", err
@@ -490,17 +759,12 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 		p1 = append(p1, stream.Stage[*platform.Chunk]{Name: "export", Fn: tee})
 	}
 	pipe := stream.NewPipeline("pass1", pipelineDepth, reg, p1...)
-	_, cErr := platform.CollectStream(w, opts.Collect, workers, pipe.Send)
+	_, cErr := platform.CollectStreamCtx(ctx, w, opts.Collect, workers, pipe.Send)
 	if err := pipe.Close(); cErr == nil {
 		cErr = err
 	}
-	if cErr != nil {
+	if cErr = seal(cErr); cErr != nil {
 		return "", cErr
-	}
-	if seal != nil {
-		if err := seal(); err != nil {
-			return "", err
-		}
 	}
 	inf := b.FinishInference()
 
@@ -516,7 +780,7 @@ func reportStreamed(opts experiments.Options, reg *obs.Registry, scale, corpusOu
 		stream.Stage[*platform.Chunk]{Name: "bdrmap",
 			Fn: func(c *platform.Chunk) error { acc.Add(c.Traces); return nil }},
 	)
-	st, cErr := platform.CollectStream(w, opts.Collect, workers, pipe.Send)
+	st, cErr := platform.CollectStreamCtx(ctx, w, opts.Collect, workers, pipe.Send)
 	if err := pipe.Close(); cErr == nil {
 		cErr = err
 	}
@@ -653,24 +917,38 @@ func runCmd(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts, reg, err := cf.options()
-	if err != nil {
-		return err
-	}
-	var sealCorpus func() error
-	if *corpusOut != "" {
-		sealCorpus = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale)
-	}
+	ctx, stopSignals := signalContext()
+	defer stopSignals()
 
+	var env *experiments.Env
+	var reg *obs.Registry
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *cf.scale, *cf.seed, *cf.workers)
-	env, err := experiments.NewEnv(opts)
-	if err != nil {
-		return err
-	}
-	if sealCorpus != nil {
-		if err := sealCorpus(); err != nil {
+	if *cf.resume != "" {
+		if err := checkResumeFlags(fs); err != nil {
 			return err
+		}
+		if *corpusOut != "" {
+			return fmt.Errorf("-resume is incompatible with -corpus-out (the corpus path comes from the manifest)")
+		}
+		var err error
+		env, reg, err = resumeCampaign(ctx, cf)
+		if err != nil {
+			return finish(cf, reg, err)
+		}
+	} else {
+		opts, r, err := cf.options()
+		reg = r
+		if err != nil {
+			return err
+		}
+		seal := func(runErr error) error { return runErr }
+		if *corpusOut != "" {
+			seal = teeCorpus(*corpusOut, *cf.corpusFormat, &opts, *cf.scale, *cf.ckptEvery)
+		}
+		fmt.Fprintf(os.Stderr, "generating world (scale=%s seed=%d parallel=%d)...\n", *cf.scale, *cf.seed, *cf.workers)
+		env, err = experiments.NewEnvCtx(ctx, opts)
+		if err = seal(err); err != nil {
+			return finish(cf, reg, err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "world: %s\n", env.World.Topo.CollectStats())
@@ -679,13 +957,10 @@ func runCmd(args []string) error {
 		len(env.Corpus.Tests), len(env.Corpus.Traces), time.Since(start).Seconds())
 
 	if name == "all" {
-		out, stats, err := experiments.RunParallel(env, *cf.workers)
+		out, stats, err := experiments.RunParallelCtx(ctx, env, *cf.workers)
 		fmt.Print(out)
 		fmt.Fprint(os.Stderr, stats.Summary())
-		if err != nil {
-			return err
-		}
-		return cf.emitMetrics(reg)
+		return finish(cf, reg, err)
 	}
 	entry, ok := experiments.Find(name)
 	if !ok {
@@ -697,7 +972,7 @@ func runCmd(args []string) error {
 	child.End()
 	sp.End()
 	if err != nil {
-		return err
+		return finish(cf, reg, err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -705,8 +980,8 @@ func runCmd(args []string) error {
 		if err := enc.Encode(res); err != nil {
 			return err
 		}
-		return cf.emitMetrics(reg)
+		return finish(cf, reg, nil)
 	}
 	fmt.Println(res.Render())
-	return cf.emitMetrics(reg)
+	return finish(cf, reg, nil)
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -86,10 +87,18 @@ type Env struct {
 // and inference phases. When opts.Obs is set, every phase is traced and
 // the layers report their metrics to it.
 func NewEnv(opts Options) (*Env, error) {
+	return NewEnvCtx(context.Background(), opts)
+}
+
+// NewEnvCtx is NewEnv under cooperative cancellation: generation stops
+// at its next phase boundary and collection at its next chunk boundary,
+// returning an error that wraps the context's cause (ErrInterrupted
+// when the CLI's signal handler cancelled).
+func NewEnvCtx(ctx context.Context, opts Options) (*Env, error) {
 	reg := opts.Obs
 	opts.Topo.Obs = reg
 	opts.Collect.Obs = reg
-	w, err := topogen.Generate(opts.Topo)
+	w, err := topogen.GenerateCtx(ctx, opts.Topo)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +113,7 @@ func NewEnv(opts Options) (*Env, error) {
 		// CollectParallel result (CollectParallel is this same stream with
 		// an append sink).
 		c := &platform.Corpus{}
-		st, err := platform.CollectStream(w, opts.Collect, opts.workers(), func(ch *platform.Chunk) error {
+		st, err := platform.CollectStreamCtx(ctx, w, opts.Collect, opts.workers(), func(ch *platform.Chunk) error {
 			c.Tests = append(c.Tests, ch.Tests...)
 			c.Traces = append(c.Traces, ch.Traces...)
 			c.TestsWithoutTrace += ch.TestsWithoutTrace
@@ -116,11 +125,23 @@ func NewEnv(opts Options) (*Env, error) {
 		c.Completeness = st.Completeness
 		corpus = c
 	} else {
-		corpus, err = platform.CollectParallel(w, opts.Collect, opts.workers())
+		corpus, err = platform.CollectParallelCtx(ctx, w, opts.Collect, opts.workers())
 		if err != nil {
 			return nil, err
 		}
 	}
+	return NewEnvWithCorpus(opts, w, corpus), nil
+}
+
+// NewEnvWithCorpus builds an Env over an already-collected corpus —
+// the resume path, where the corpus is spliced together from a replayed
+// prefix and a freshly collected suffix — running only the shared
+// inference stages. The result is identical to NewEnv when the corpus
+// is: inference is a pure function of (world, corpus).
+func NewEnvWithCorpus(opts Options, w *topogen.World, corpus *platform.Corpus) *Env {
+	reg := opts.Obs
+	opts.Topo.Obs = reg
+	opts.Collect.Obs = reg
 	e := &Env{Opts: opts, World: w, Corpus: corpus}
 	sp := reg.Span("mapit")
 	e.Inference = mapit.Run(corpus.Traces, e.MapItOpts())
@@ -130,7 +151,7 @@ func NewEnv(opts Options) (*Env, error) {
 	sp.End()
 	reg.Gauge("match.pairs").Set(int64(e.Matching.Matched()))
 	reg.Gauge("match.degraded").Set(int64(e.Matching.Degraded))
-	return e, nil
+	return e
 }
 
 // MapItOpts builds the public-dataset options for this world.

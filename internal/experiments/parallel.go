@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -129,6 +130,13 @@ func (s *RunStats) Summary() string {
 // once under Env.vpsOnce), so any worker count is safe and the output
 // deterministic.
 func RunParallel(e *Env, workers int) (string, *RunStats, error) {
+	return RunParallelCtx(context.Background(), e, workers)
+}
+
+// RunParallelCtx is RunParallel under cooperative cancellation: workers
+// finish the experiment they are on, claim nothing further, and the
+// call returns an error wrapping the context's cause.
+func RunParallelCtx(ctx context.Context, e *Env, workers int) (string, *RunStats, error) {
 	entries := Registry()
 	if workers < 1 {
 		workers = 1
@@ -159,6 +167,9 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return // cancelled: claim nothing further
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(entries) {
 					return
@@ -190,6 +201,10 @@ func RunParallel(e *Env, workers int) (string, *RunStats, error) {
 		Completeness:    e.Corpus.Completeness,
 		MatchedDegraded: e.Matching.Degraded,
 		FaultCounters:   reg.CountersWithPrefix("faults."),
+	}
+	if ctx.Err() != nil {
+		stats.Wall = time.Since(start)
+		return "", stats, fmt.Errorf("experiments: run interrupted: %w", context.Cause(ctx))
 	}
 	var sb strings.Builder
 	for i := range slots {

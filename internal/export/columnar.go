@@ -462,8 +462,10 @@ type colEncodePipeline struct {
 	done chan struct{}
 	next int
 
-	mu  sync.Mutex
-	err error
+	mu      sync.Mutex
+	retired sync.Cond
+	written int
+	err     error
 }
 
 func (ep *colEncodePipeline) fail(err error) {
@@ -471,12 +473,31 @@ func (ep *colEncodePipeline) fail(err error) {
 	if ep.err == nil {
 		ep.err = err
 	}
+	ep.retired.Broadcast()
 	ep.mu.Unlock()
 }
 
 func (ep *colEncodePipeline) firstErr() error {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	return ep.err
+}
+
+func (ep *colEncodePipeline) retire() {
+	ep.mu.Lock()
+	ep.written++
+	ep.retired.Broadcast()
+	ep.mu.Unlock()
+}
+
+// drain blocks until the sequencer has retired the first n submitted
+// frames or the pipeline failed, mirroring encodePipeline.drain.
+func (ep *colEncodePipeline) drain(n int) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for ep.written < n && ep.err == nil {
+		ep.retired.Wait()
+	}
 	return ep.err
 }
 
@@ -525,11 +546,19 @@ func NewColumnarWriterWorkers(w io.Writer, public Public, meta StreamMeta, worke
 	if err != nil || workers <= 1 {
 		return cw, err
 	}
+	cw.attachEncoders(workers)
+	return cw, nil
+}
+
+// attachEncoders wires the worker encode pipeline onto a writer whose
+// header is already on disk; shared by the fresh and resumed paths.
+func (cw *ColumnarWriter) attachEncoders(workers int) {
 	ep := &colEncodePipeline{
 		in:   make(chan colEncJob, workers),
 		ro:   stream.NewReorder[colFrame](workers),
 		done: make(chan struct{}),
 	}
+	ep.retired.L = &ep.mu
 	for i := 0; i < workers; i++ {
 		ep.wg.Add(1)
 		go func() {
@@ -567,11 +596,11 @@ func NewColumnarWriterWorkers(w io.Writer, public Public, meta StreamMeta, worke
 				}
 			}
 			putFrameBuf(fr.buf)
+			ep.retire()
 		}
 		close(ep.done)
 	}()
 	cw.enc = ep
-	return cw, nil
 }
 
 // write pushes bytes to the underlying writer, tracking the offset the
@@ -611,6 +640,42 @@ func (cw *ColumnarWriter) WriteChunk(c *platform.Chunk) error {
 	cw.footer.TestsWithoutTrace += c.TestsWithoutTrace
 	cw.footer.Completeness.Merge(c.Completeness)
 	return nil
+}
+
+// Sync drains every chunk submitted so far out of the encode pipeline
+// and through the bufio layer, so the underlying writer holds a prefix
+// ending exactly at a chunk-frame boundary; the checkpoint layer
+// fsyncs behind it. The file stays open for more chunks.
+func (cw *ColumnarWriter) Sync() error {
+	if cw.enc != nil {
+		if err := cw.enc.drain(cw.enc.next); err != nil {
+			return err
+		}
+	}
+	if err := cw.bw.Flush(); err != nil {
+		return fmt.Errorf("export: writing columnar corpus: %w", err)
+	}
+	return nil
+}
+
+// ResumeColumnarWriter reopens a columnar writer over a file whose
+// magic, header and first chunk frames are already durable: w must be
+// positioned at the end of that prefix, offset is its byte length, and
+// totals/index are the running footer state accumulated over it (as
+// ReplayPrefix reports). The writer emits no header; the next
+// WriteChunk appends the frame after the prefix.
+func ResumeColumnarWriter(w io.Writer, totals StreamFooter, offset int64, index []ChunkIndexEntry, workers int) *ColumnarWriter {
+	cw := &ColumnarWriter{
+		bw:     bufio.NewWriterSize(w, 1<<20),
+		off:    offset,
+		footer: totals,
+		index:  append([]ChunkIndexEntry(nil), index...),
+	}
+	cw.footer.Footer = true
+	if workers > 1 {
+		cw.attachEncoders(workers)
+	}
+	return cw
 }
 
 // Close seals the file with the footer frame, the chunk index, and the
@@ -654,6 +719,23 @@ func (cw *ColumnarWriter) Close() error {
 		return err
 	}
 	return cw.bw.Flush()
+}
+
+// Abandon shuts the writer down without sealing the file: encode
+// workers stop, but no footer frame is written, so the file stays a
+// truncated (resumable) prefix — the interrupt path's counterpart to
+// Close, mirroring StreamWriter.Abandon.
+func (cw *ColumnarWriter) Abandon() {
+	if cw.closed {
+		return
+	}
+	cw.closed = true
+	if cw.enc != nil {
+		close(cw.enc.in)
+		cw.enc.wg.Wait()
+		cw.enc.ro.Close()
+		<-cw.enc.done
+	}
 }
 
 // Footer exposes the running totals (complete once Close has run).

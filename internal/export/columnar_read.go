@@ -848,6 +848,18 @@ func (cr *ColumnarReader) consume(d colDecoded) (*StreamChunk, error) {
 // io.EOF.
 func (cr *ColumnarReader) Footer() *StreamFooter { return cr.footer }
 
+// ReadTotals snapshots the totals accumulated over the chunks consumed
+// so far — the running footer a resumed writer continues from.
+func (cr *ColumnarReader) ReadTotals() StreamFooter {
+	t := cr.read
+	t.Footer = true
+	return t
+}
+
+// SeenIndex returns the chunk-index rows observed so far, in chunk
+// order — the index prefix a resumed writer continues from.
+func (cr *ColumnarReader) SeenIndex() []ChunkIndexEntry { return cr.seen }
+
 // Close releases a worker-backed reader's decode goroutines; it is a
 // no-op for serial readers and after a completed replay.
 func (cr *ColumnarReader) Close() error {

@@ -18,10 +18,17 @@ import (
 
 // CorpusWriter persists a campaign chunk by chunk; StreamWriter and
 // ColumnarWriter both satisfy it, so a collection sink can pick the
-// on-disk format at runtime.
+// on-disk format at runtime. Sync is the chunk-boundary durability
+// barrier: it drains every submitted chunk through the encode pipeline
+// and the bufio layer, after which the underlying writer holds a
+// well-formed prefix the checkpoint layer can fsync and record.
+// Abandon stops the writer without sealing the file (no footer) — the
+// interrupt path, where the on-disk prefix must stay visibly partial.
 type CorpusWriter interface {
 	WriteChunk(c *platform.Chunk) error
+	Sync() error
 	Close() error
+	Abandon()
 	Footer() StreamFooter
 }
 

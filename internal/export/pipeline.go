@@ -55,8 +55,10 @@ type encodePipeline struct {
 	done chan struct{}
 	next int // next sequence number; single producer (WriteChunk)
 
-	mu  sync.Mutex
-	err error
+	mu      sync.Mutex
+	retired sync.Cond // signaled as written advances or the pipeline fails
+	written int       // frames the sequencer has retired, for drain's barrier
+	err     error
 }
 
 func (ep *encodePipeline) fail(err error) {
@@ -64,12 +66,32 @@ func (ep *encodePipeline) fail(err error) {
 	if ep.err == nil {
 		ep.err = err
 	}
+	ep.retired.Broadcast()
 	ep.mu.Unlock()
 }
 
 func (ep *encodePipeline) firstErr() error {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	return ep.err
+}
+
+// retire counts one frame through the sequencer, waking drainers.
+func (ep *encodePipeline) retire() {
+	ep.mu.Lock()
+	ep.written++
+	ep.retired.Broadcast()
+	ep.mu.Unlock()
+}
+
+// drain blocks until the sequencer has retired the first n submitted
+// frames (they reached the bufio layer) or the pipeline failed.
+func (ep *encodePipeline) drain(n int) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for ep.written < n && ep.err == nil {
+		ep.retired.Wait()
+	}
 	return ep.err
 }
 
@@ -85,11 +107,19 @@ func NewStreamWriterWorkers(w io.Writer, public Public, meta StreamMeta, workers
 	if err != nil || workers <= 1 {
 		return sw, err
 	}
+	sw.attachEncoders(workers)
+	return sw, nil
+}
+
+// attachEncoders wires the worker encode pipeline onto a writer whose
+// header is already on disk; shared by the fresh and resumed paths.
+func (sw *StreamWriter) attachEncoders(workers int) {
 	ep := &encodePipeline{
 		in:   make(chan encJob, workers),
 		ro:   stream.NewReorder[*bytes.Buffer](workers),
 		done: make(chan struct{}),
 	}
+	ep.retired.L = &ep.mu
 	for i := 0; i < workers; i++ {
 		ep.wg.Add(1)
 		go func() {
@@ -133,11 +163,11 @@ func NewStreamWriterWorkers(w io.Writer, public Public, meta StreamMeta, workers
 				}
 			}
 			putLineBuf(buf)
+			ep.retire()
 		}
 		close(ep.done)
 	}()
 	sw.enc = ep
-	return sw, nil
 }
 
 // rawLine is one undecoded record line, tagged with its sequence

@@ -1,0 +1,148 @@
+// Resume support: replaying the durable prefix of a partial corpus and
+// reopening a writer that continues it. A crashed campaign leaves a
+// footer-less file; the checkpoint layer (internal/checkpoint) records
+// how many chunks and bytes of it are durable, verifies the prefix here
+// by CRC, and reopens a writer positioned exactly at the last chunk
+// boundary so the resumed file is byte-identical to an uninterrupted
+// one.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// crcReader counts and checksums (crc32c) every byte pulled through it.
+type crcReader struct {
+	r   io.Reader
+	n   int64
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// PrefixState is everything a resumed writer needs about the durable
+// prefix of a partial corpus: identity (header), running footer totals,
+// the columnar chunk-index rows, and the prefix length + CRC.
+type PrefixState struct {
+	// Format is the detected corpus format, "ndjson" or "columnar".
+	Format string
+	Public *Public
+	Meta   StreamMeta
+	// Totals is the running footer over the prefix chunks (Footer set).
+	Totals StreamFooter
+	// Index holds the columnar chunk-index rows of the prefix; empty
+	// for NDJSON.
+	Index []ChunkIndexEntry
+	// Bytes is the prefix length; CRC is crc32c over those bytes.
+	Bytes int64
+	CRC   uint32
+}
+
+// ReplayPrefix reads exactly byteLen bytes of a partial corpus —
+// which must end at a chunk boundary, as the checkpoint layer
+// guarantees — decodes its first `chunks` chunks through the
+// worker-parallel reader, hands each to onChunk, and returns the
+// prefix state (totals, columnar index, CRC over the bytes) a resumed
+// writer continues from. Bytes between the last decoded chunk and
+// byteLen would indicate a corrupt checkpoint and surface through the
+// CRC/length cross-checks the caller performs.
+func ReplayPrefix(r io.Reader, byteLen int64, chunks int, workers int, onChunk func(*StreamChunk) error) (*PrefixState, error) {
+	cr := &crcReader{r: io.LimitReader(r, byteLen)}
+	br := bufio.NewReaderSize(cr, 1<<20)
+	head, _ := br.Peek(len(columnarMagic))
+	var (
+		rd     CorpusReader
+		format string
+		err    error
+	)
+	if string(head) == columnarMagic {
+		format = "columnar"
+		rd, err = OpenColumnarWorkers(br, workers)
+	} else {
+		format = "ndjson"
+		rd, err = OpenStreamWorkers(br, workers)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("export: opening corpus prefix: %w", err)
+	}
+	for i := 0; i < chunks; i++ {
+		c, err := rd.Next()
+		if err != nil {
+			rd.Close()
+			return nil, fmt.Errorf("export: replaying corpus prefix: chunk %d of %d: %w", i, chunks, err)
+		}
+		if onChunk != nil {
+			if err := onChunk(c); err != nil {
+				rd.Close()
+				return nil, err
+			}
+		}
+	}
+	ps := &PrefixState{Format: format, Public: rd.Public(), Meta: rd.Meta(), Bytes: byteLen}
+	switch v := rd.(type) {
+	case *StreamReader:
+		ps.Totals = v.ReadTotals()
+	case *ColumnarReader:
+		ps.Totals = v.ReadTotals()
+		ps.Index = append([]ChunkIndexEntry(nil), v.SeenIndex()...)
+	}
+	// Close stops the read-ahead goroutines; the io.Copy then pulls any
+	// bytes they left unread through the CRC so it covers the whole
+	// prefix.
+	rd.Close()
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, fmt.Errorf("export: reading corpus prefix: %w", err)
+	}
+	if cr.n != byteLen {
+		return nil, fmt.Errorf("export: corpus prefix is %d bytes, checkpoint recorded %d", cr.n, byteLen)
+	}
+	ps.CRC = cr.sum
+	return ps, nil
+}
+
+// ResumeCorpusWriter reopens a chunked corpus writer over a file whose
+// durable prefix ReplayPrefix just verified; w must be positioned at
+// the end of that prefix. The next WriteChunk appends the chunk after
+// the prefix, and the final file is byte-identical to an uninterrupted
+// campaign's.
+func ResumeCorpusWriter(w io.Writer, prefix *PrefixState, workers int) (CorpusWriter, error) {
+	switch prefix.Format {
+	case "", "ndjson":
+		return ResumeStreamWriter(w, prefix.Totals, workers), nil
+	case "columnar":
+		return ResumeColumnarWriter(w, prefix.Totals, prefix.Bytes, prefix.Index, workers), nil
+	}
+	return nil, fmt.Errorf("export: unknown corpus format %q (want ndjson or columnar)", prefix.Format)
+}
+
+// HeaderFingerprint digests the (format, public, meta) identity triple
+// a corpus opens with. The checkpoint manifest records it as the world
+// hash: at resume time the regenerated world must fingerprint to the
+// same value or the suffix would not splice onto the prefix. The JSON
+// marshalling is deterministic (map keys sort), so equal worlds always
+// digest equally.
+func HeaderFingerprint(format string, public Public, meta StreamMeta) (uint32, error) {
+	var name string
+	switch format {
+	case "", "ndjson":
+		name = StreamFormat
+	case "columnar":
+		name = ColumnarFormat
+	default:
+		return 0, fmt.Errorf("export: unknown corpus format %q (want ndjson or columnar)", format)
+	}
+	hdr, err := json.Marshal(streamHeader{Format: name, Public: public, Meta: meta})
+	if err != nil {
+		return 0, fmt.Errorf("export: encoding corpus header: %w", err)
+	}
+	return crc32.Checksum(hdr, castagnoli), nil
+}

@@ -135,6 +135,37 @@ func (sw *StreamWriter) WriteChunk(c *platform.Chunk) error {
 	return nil
 }
 
+// Sync drains every chunk submitted so far out of the encode pipeline
+// and through the bufio layer, so the underlying writer holds a prefix
+// that ends exactly at a chunk boundary. It is the durability barrier
+// the checkpoint layer fsyncs behind; the stream stays open for more
+// chunks.
+func (sw *StreamWriter) Sync() error {
+	if sw.enc != nil {
+		if err := sw.enc.drain(sw.enc.next); err != nil {
+			return err
+		}
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return fmt.Errorf("export: writing corpus stream: %w", err)
+	}
+	return nil
+}
+
+// ResumeStreamWriter reopens a stream writer over a file whose header
+// and first chunks are already durable: w must be positioned at the
+// end of that prefix and totals must be the running footer accumulated
+// over it (as ReplayPrefix reports). The writer emits no header; the
+// next WriteChunk appends the chunk after the prefix.
+func ResumeStreamWriter(w io.Writer, totals StreamFooter, workers int) *StreamWriter {
+	sw := &StreamWriter{bw: bufio.NewWriterSize(w, 1<<20), footer: totals}
+	sw.footer.Footer = true
+	if workers > 1 {
+		sw.attachEncoders(workers)
+	}
+	return sw
+}
+
 // Close seals the stream with the footer. Without it the file reads as
 // truncated — which is exactly right for a crashed campaign.
 func (sw *StreamWriter) Close() error {
@@ -155,6 +186,24 @@ func (sw *StreamWriter) Close() error {
 		return err
 	}
 	return sw.bw.Flush()
+}
+
+// Abandon shuts the writer down without sealing the stream: encode
+// workers stop, but no footer is written, so the file stays readable
+// only as a truncated (resumable) prefix. Used when a campaign is
+// interrupted after a durable checkpoint — writing a footer there
+// would make a partial corpus read as a complete smaller one.
+func (sw *StreamWriter) Abandon() {
+	if sw.closed {
+		return
+	}
+	sw.closed = true
+	if sw.enc != nil {
+		close(sw.enc.in)
+		sw.enc.wg.Wait()
+		sw.enc.ro.Close()
+		<-sw.enc.done
+	}
 }
 
 // Footer exposes the running totals (complete once Close has run).
@@ -279,6 +328,14 @@ func (sr *StreamReader) consume(d decoded) (*StreamChunk, error) {
 // Footer returns the stream totals; non-nil only after Next returned
 // io.EOF.
 func (sr *StreamReader) Footer() *StreamFooter { return sr.footer }
+
+// ReadTotals snapshots the totals accumulated over the chunks consumed
+// so far — the running footer a resumed writer continues from.
+func (sr *StreamReader) ReadTotals() StreamFooter {
+	t := sr.read
+	t.Footer = true
+	return t
+}
 
 // readStreamAll materializes a whole stream into a Dataset (the Read
 // path for stream files).

@@ -29,11 +29,13 @@ import (
 // pipelineRun bundles the per-campaign state the pipelined execution
 // phase needs from CollectStream.
 type pipelineRun struct {
+	ctx        context.Context
 	schedule   []arrival
 	chunkTests int
 	window     int
 	workers    int
 	workerRNGs []*rand.Rand
+	startChunk int
 
 	launches []int
 	dropped  []bool
@@ -53,11 +55,14 @@ type pipelineRun struct {
 // executes it or when; the reorder buffer restores index order before
 // the sink sees anything.
 func collectChunksPipelined(pr *pipelineRun) error {
+	if pr.ctx == nil {
+		pr.ctx = context.Background()
+	}
 	n := len(pr.schedule)
 	nChunks := (n + pr.chunkTests - 1) / pr.chunkTests
 	workers := pr.workers
-	if workers > nChunks {
-		workers = nChunks
+	if workers > nChunks-pr.startChunk {
+		workers = nChunks - pr.startChunk
 	}
 	if workers < 1 {
 		workers = 1
@@ -71,7 +76,7 @@ func collectChunksPipelined(pr *pipelineRun) error {
 		bus.Publish("stream.stall", "collect.reorder", -1, int64(seq))
 	})
 	var (
-		nextChunk    int64
+		nextChunk    = int64(pr.startChunk)
 		inFlight     int64
 		peakInFlight int64
 		wg           sync.WaitGroup
@@ -92,6 +97,12 @@ func collectChunksPipelined(pr *pipelineRun) error {
 				pprof.Labels("tputlab.pool", "collect.producer", "tputlab.worker", fmt.Sprint(worker))))
 			rng := pr.workerRNGs[worker]
 			for {
+				// Cooperative cancellation: stop claiming new chunks, but
+				// finish (and Put) the one already in hand — the consumer
+				// keeps draining, so everything claimed gets published.
+				if pr.ctx.Err() != nil {
+					return
+				}
 				ci := int(atomic.AddInt64(&nextChunk, 1)) - 1
 				if ci >= nChunks {
 					return
@@ -128,7 +139,10 @@ func collectChunksPipelined(pr *pipelineRun) error {
 						atomic.AddInt64(&pr.perShardTraces[pr.schedule[lo+i].shard], 1)
 					}
 				}
-				if !ro.Put(ci, chunk) {
+				// The reorder buffer releases from sequence 0; a resumed
+				// campaign's first chunk is startChunk, so sequence numbers
+				// are chunk indices rebased onto the resume point.
+				if !ro.Put(ci-pr.startChunk, chunk) {
 					return // campaign failed elsewhere; stop producing
 				}
 			}
@@ -169,5 +183,17 @@ func collectChunksPipelined(pr *pipelineRun) error {
 	if sinkErr != nil {
 		return sinkErr
 	}
-	return ro.Err()
+	if err := ro.Err(); err != nil {
+		return err
+	}
+	// Producers stop claiming on cancellation; if that left chunks
+	// unproduced the campaign is incomplete — report the interrupt. A
+	// cancellation that raced the natural end of the stream is a
+	// complete campaign and not an error.
+	if pr.startChunk+pr.st.Chunks < nChunks {
+		if err := ctxErr(pr.ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }

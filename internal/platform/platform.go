@@ -7,6 +7,8 @@
 package platform
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -154,6 +156,15 @@ type CollectConfig struct {
 	// is not part of the corpus identity: the corpus is byte-identical
 	// with and without it (see the golden tests).
 	Obs *obs.Registry
+	// StartChunk resumes a streamed campaign mid-stream: chunks with
+	// index below it are never executed or published — the resume path
+	// replays them from a persisted corpus prefix instead. Scheduling,
+	// retry planning and the collector sweep still cover the whole
+	// campaign (cheap, deterministic bookkeeping), so chunk StartChunk
+	// onward is byte-identical to the same chunks of a full run. Like
+	// ChunkTests it is NOT part of the corpus identity; it only selects
+	// which suffix of the identical stream is produced.
+	StartChunk int
 }
 
 // DefaultChunkTests is the streamed-collection chunk size when
@@ -403,6 +414,22 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 	return CollectParallel(w, cfg, 1)
 }
 
+// ErrInterrupted marks a campaign stopped early by cooperative
+// cancellation: in-flight chunks were drained and published, nothing
+// was torn, and the work is resumable from the last durable chunk.
+// Callers detect it with errors.Is.
+var ErrInterrupted = errors.New("campaign interrupted")
+
+// ctxErr folds cooperative cancellation into the collection error
+// chain: nil while ctx lives, otherwise the context's cause (the
+// interrupt sentinel the CLI cancels with, or context.Canceled).
+func ctxErr(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("platform: collection interrupted: %w", context.Cause(ctx))
+	}
+	return nil
+}
+
 // CollectParallel runs a full crowdsourced campaign with the given
 // worker count, materializing the whole corpus in memory. It is
 // CollectStream with an appending sink, so batch and streamed
@@ -416,8 +443,15 @@ func Collect(w *topogen.World, cfg CollectConfig) (*Corpus, error) {
 // pre-seeded RNG. Workers only change how the scheduling and execution
 // phases are spread over goroutines, never which draws are made.
 func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus, error) {
+	return CollectParallelCtx(context.Background(), w, cfg, workers)
+}
+
+// CollectParallelCtx is CollectParallel under cooperative cancellation:
+// a cancelled ctx stops the campaign at the next chunk boundary with an
+// error wrapping the context's cause.
+func CollectParallelCtx(ctx context.Context, w *topogen.World, cfg CollectConfig, workers int) (*Corpus, error) {
 	corpus := &Corpus{}
-	st, err := CollectStream(w, cfg, workers, func(c *Chunk) error {
+	st, err := CollectStreamCtx(ctx, w, cfg, workers, func(c *Chunk) error {
 		corpus.Tests = append(corpus.Tests, c.Tests...)
 		corpus.Traces = append(corpus.Traces, c.Traces...)
 		return nil
@@ -442,6 +476,16 @@ func CollectParallel(w *topogen.World, cfg CollectConfig, workers int) (*Corpus,
 // campaign and is returned. The chunk's slices are not reused; the sink
 // may retain them.
 func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*Chunk) error) (*StreamStats, error) {
+	return CollectStreamCtx(context.Background(), w, cfg, workers, sink)
+}
+
+// CollectStreamCtx is CollectStream under cooperative cancellation.
+// Cancellation is honored at phase and chunk boundaries: chunks already
+// claimed by pipeline producers are drained through the sink (nothing
+// published is ever torn), no new chunks start, and the error wraps the
+// context's cause — ErrInterrupted when the CLI's signal handler
+// cancelled, so callers can tell a resumable interrupt from a failure.
+func CollectStreamCtx(ctx context.Context, w *topogen.World, cfg CollectConfig, workers int, sink func(*Chunk) error) (*StreamStats, error) {
 	started := time.Now()
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -529,6 +573,9 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 	// so the merge is a total order independent of worker count.
 	sort.SliceStable(schedule, func(i, j int) bool { return schedule[i].minute < schedule[j].minute })
 	schedSpan.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Phase 1.5 — retry planning (fault plane only). Launch-blocking
 	// faults (server outages, test aborts) are evaluated per attempt and
@@ -650,6 +697,9 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 		launches[id] = launch
 	}
 	sweepSpan.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Phase 3 — execution, parallel over arrivals, chunked. Each
 	// arrival runs its NDT test and (when scheduled) its traceroute
@@ -667,6 +717,10 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 	chunkTests := cfg.ChunkTests
 	if chunkTests <= 0 {
 		chunkTests = DefaultChunkTests
+	}
+	startChunk := cfg.StartChunk
+	if startChunk < 0 {
+		startChunk = 0
 	}
 	execSpan := reg.Span("collect.execute")
 	workerRNGs := make([]*rand.Rand, workers)
@@ -716,8 +770,9 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 	}
 	if cfg.PipelineChunks > 0 {
 		err := collectChunksPipelined(&pipelineRun{
+			ctx:      ctx,
 			schedule: schedule, chunkTests: chunkTests, window: cfg.PipelineChunks,
-			workers: workers, workerRNGs: workerRNGs,
+			workers: workers, workerRNGs: workerRNGs, startChunk: startChunk,
 			launches: launches, dropped: dropped, inj: inj,
 			perShardTraces: perShardTraces, reg: reg,
 			exec: execArrival, sink: sink, st: st,
@@ -727,7 +782,11 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 			return nil, err
 		}
 	} else {
-		for lo := 0; lo < len(schedule); lo += chunkTests {
+		for lo := startChunk * chunkTests; lo < len(schedule); lo += chunkTests {
+			if err := ctxErr(ctx); err != nil {
+				execSpan.End()
+				return nil, err
+			}
 			hi := lo + chunkTests
 			if hi > len(schedule) {
 				hi = len(schedule)
@@ -746,7 +805,7 @@ func CollectStream(w *topogen.World, cfg CollectConfig, workers int, sink func(*
 					return nil, err
 				}
 			}
-			chunk := publishChunk(st.Chunks, lo, hi, schedule, tests, traces, launches, dropped, inj)
+			chunk := publishChunk(lo/chunkTests, lo, hi, schedule, tests, traces, launches, dropped, inj)
 			for i, tr := range traces {
 				if tr != nil {
 					perShardTraces[schedule[lo+i].shard]++

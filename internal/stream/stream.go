@@ -145,6 +145,24 @@ func (r *Reorder[T]) Pending() int {
 	return len(r.buf)
 }
 
+// WatchContext fails the buffer with the context's cause when ctx is
+// cancelled, waking blocked producers and the consumer — the hook that
+// makes a reorder-backed pipeline cancellable without polling. The
+// returned stop function releases the watcher; call it once the buffer
+// has closed normally.
+func (r *Reorder[T]) WatchContext(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.Fail(context.Cause(ctx))
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // Stage is one named consumer of an ordered item stream.
 type Stage[T any] struct {
 	Name string
@@ -287,6 +305,28 @@ func (p *Pipeline[T]) Send(v T) error {
 	}
 	for _, ss := range p.stages {
 		ss.ch <- v
+	}
+	return nil
+}
+
+// SendCtx is Send that also gives up when ctx is cancelled, returning
+// the context's cause — the cooperative-cancellation variant used by
+// streamed report passes, where a blocked stage queue must not outlive
+// a SIGINT. Items already queued keep draining through the stages.
+func (p *Pipeline[T]) SendCtx(ctx context.Context, v T) error {
+	p.mu.Lock()
+	err := p.failed
+	p.sent++
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, ss := range p.stages {
+		select {
+		case ss.ch <- v:
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
 	}
 	return nil
 }

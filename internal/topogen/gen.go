@@ -1,6 +1,7 @@
 package topogen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -64,6 +65,15 @@ type brKey struct {
 const lazyRouteThreshold = 10000
 
 func Generate(cfg Config) (*World, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate under cooperative cancellation: a cancelled
+// ctx skips every remaining generation phase and returns an error
+// wrapping the context's cause. Cancellation is only observed at phase
+// boundaries — the coarsest grain that still aborts a multi-minute
+// xlarge build promptly, without threading ctx into the hot loops.
+func GenerateCtx(ctx context.Context, cfg Config) (*World, error) {
 	if cfg.Scale.StubASes == 0 {
 		cfg.Scale = datasets.DefaultScale()
 	}
@@ -113,8 +123,12 @@ func Generate(cfg Config) (*World, error) {
 	reg := cfg.Obs
 	gen := reg.Span("generate")
 	// phase hands each stage its span so parallel stages can attach
-	// per-worker child spans to it.
+	// per-worker child spans to it. A cancelled context skips every
+	// remaining phase; the post-loop check turns that into an error.
 	phase := func(name string, fn func(sp *obs.Span)) {
+		if ctx.Err() != nil {
+			return
+		}
 		sp := reg.Span("generate." + name)
 		fn(sp)
 		sp.End()
@@ -157,6 +171,9 @@ func Generate(cfg Config) (*World, error) {
 	})
 	phase("netsim", func(*obs.Span) { b.world.Model = netsim.New(b.topo, b.world.Resolver) })
 	gen.End()
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("topogen: generation interrupted: %w", context.Cause(ctx))
+	}
 
 	if reg != nil {
 		for _, ph := range []string{"dnsnames", "validate", "bgp"} {
